@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation: it runs the experiment through the simulator, prints
+the reproduced rows/series next to the paper's published values, and
+records the headline numbers in the pytest-benchmark ``extra_info`` so
+``pytest benchmarks/ --benchmark-only`` leaves a machine-readable record.
+
+Experiments run at reduced memory scale (see ``repro.experiments.Scale``
+and EXPERIMENTS.md); *shapes* — orderings, ratios, crossovers — are the
+reproduction target, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale
+
+#: default scale for benchmark experiments (48 GB machine -> 384 MB).
+BENCH_SCALE = Scale(1 / 128)
+
+
+@pytest.fixture
+def scale() -> Scale:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

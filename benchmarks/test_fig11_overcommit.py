@@ -1,0 +1,113 @@
+"""Figure 11 — overcommitted virtualisation: pre-zeroing + KSM vs ballooning.
+
+Paper: VMs with ~150 GB of peak demand on a 96 GB host (SSD swap).  With
+HawkEye in the guests, freed guest memory is pre-zeroed and same-page-
+merged away at the host — giving Redis 2.3x and MongoDB 1.42x the
+throughput of the no-ballooning baseline, essentially matching explicit
+balloon drivers; PageRank pays a small COW-fault penalty versus
+ballooning.
+
+Reproduced: three VMs (Redis churn, MongoDB, PageRank) oversubscribe the
+host ~1.5x.  Configurations: no return channel (baseline), balloon
+drivers, and transparent HawkEye-guests + host KSM.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import banner, run_once
+from repro.experiments import fragment, make_hypervisor, make_vm
+from repro.metrics.tables import format_table
+from repro.units import GB, SEC
+from repro.workloads.graph import PageRank
+from repro.workloads.redis import MongoDB, RedisChurn
+
+HOST_GB = 64
+SERVE_S = 500.0
+
+CONFIGS = {
+    "no-ballooning": {"guest": "linux-2mb", "balloon": False},
+    "ballooning": {"guest": "linux-2mb", "balloon": True},
+    "hawkeye+ksm": {"guest": "hawkeye-g", "balloon": False},
+}
+
+
+#: both return channels (balloon and pre-zero+KSM) get the same page
+#: processing rate, so the comparison isolates the *mechanism*.
+CHANNEL_PAGES_PER_SEC = 1e6
+
+
+def run_config(name, cfg, scale):
+    hyp = make_hypervisor(HOST_GB * GB, "linux-2mb", scale,
+                          swap_bytes_full=96 * GB)
+    hyp.enable_ksm(pages_per_sec=scale.rate(CHANNEL_PAGES_PER_SEC))
+    vm_redis = make_vm(hyp, "redis", 48 * GB, cfg["guest"], scale)
+    vm_mongo = make_vm(hyp, "mongo", 32 * GB, cfg["guest"], scale)
+    vm_rank = make_vm(hyp, "pagerank", 24 * GB, cfg["guest"], scale)
+    if cfg["balloon"]:
+        hyp.enable_ballooning(pages_per_sec=scale.rate(CHANNEL_PAGES_PER_SEC))
+    if cfg["guest"].startswith("hawkeye"):
+        for vm in (vm_redis, vm_mongo, vm_rank):
+            vm.guest.policy.prezero._limiter.per_second = scale.rate(CHANNEL_PAGES_PER_SEC)
+
+    # Redis churns: 40 GB peak, 60 % deleted -> most of its VM is free
+    # again, *if* a channel exists to tell the host.
+    redis_wl = RedisChurn(scale=scale.factor, dataset_bytes=40 * GB,
+                          insert_rate_pages_per_sec=4e6,
+                          settle_us=60 * SEC, serve_us=SERVE_S * SEC)
+    redis = vm_redis.spawn(redis_wl)
+    mongo = vm_mongo.spawn(MongoDB(scale=scale.factor, dataset_bytes=24 * GB,
+                                   serve_us=SERVE_S * SEC,
+                                   insert_rate_pages_per_sec=4e6))
+    rank = vm_rank.spawn(PageRank(scale=scale.factor, footprint_bytes=16 * GB,
+                                  work_us=300 * SEC))
+    epochs = 0
+    runs = [redis, mongo, rank]
+    while any(not r.finished for r in runs) and epochs < 3000:
+        hyp.run_epoch()
+        epochs += 1
+    return {
+        "redis_kops": redis.served.get("serve", 0.0) / SERVE_S / 1000.0,
+        "mongo_kops": mongo.served.get("serve", 0.0) / SERVE_S / 1000.0,
+        "pagerank_s": rank.elapsed_us / SEC if rank.finished else float("inf"),
+        "swap_outs": hyp.host.swap.swap_outs,
+        "ksm_merged": hyp.host.stats.ksm_merged_pages,
+    }
+
+
+def test_fig11_overcommit(benchmark, scale):
+    results = run_once(
+        benchmark, lambda: {n: run_config(n, c, scale) for n, c in CONFIGS.items()}
+    )
+    banner("Figure 11: overcommitted host (1.6x), throughput normalised to no-ballooning")
+    base = results["no-ballooning"]
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name,
+            f"{r['redis_kops']:.1f}K ({r['redis_kops'] / max(base['redis_kops'], 1e-9):.2f}x)",
+            f"{r['mongo_kops']:.1f}K ({r['mongo_kops'] / max(base['mongo_kops'], 1e-9):.2f}x)",
+            f"{r['pagerank_s']:.0f}s ({base['pagerank_s'] / r['pagerank_s']:.2f}x)",
+            r["swap_outs"], r["ksm_merged"],
+        ])
+    print(format_table(
+        ["configuration", "redis tput", "mongo tput", "pagerank time",
+         "host swap-outs", "ksm merged"],
+        rows,
+    ))
+    print("paper: HawkEye+KSM gives Redis 2.3x, MongoDB 1.42x over "
+          "no-ballooning, ≈ ballooning; PageRank slightly worse.")
+
+    hawk, balloon = results["hawkeye+ksm"], results["ballooning"]
+    # the transparent channel must clearly beat the no-channel baseline
+    assert hawk["redis_kops"] > base["redis_kops"] * 1.2
+    assert hawk["mongo_kops"] > base["mongo_kops"] * 1.1
+    # ... and roughly match explicit ballooning
+    assert hawk["redis_kops"] > balloon["redis_kops"] * 0.8
+    assert hawk["mongo_kops"] > balloon["mongo_kops"] * 0.8
+    # mechanism evidence: swapping drops, merging happens
+    assert hawk["swap_outs"] < base["swap_outs"]
+    assert hawk["ksm_merged"] > 0
+    benchmark.extra_info.update({
+        n: {"redis_x": round(r["redis_kops"] / max(base["redis_kops"], 1e-9), 2)}
+        for n, r in results.items()
+    })

@@ -1,0 +1,94 @@
+"""Figure 7 / Table 5 — three identical instances run concurrently.
+
+Paper: with 3x Graph500 (and separately 3x XSBench) under fragmentation,
+Linux promotes one process at a time (FCFS), creating a long performance
+imbalance; Ingens promotes proportionally but from low VAs, helping
+nobody; HawkEye distributes promotions across instances by access
+coverage and achieves 1.13–1.15x average speedup over Linux (Table 5).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import banner, run_once
+from repro.experiments import fragment, make_kernel
+from repro.metrics.tables import format_table
+from repro.units import GB, SEC
+from repro.workloads.graph import Graph500
+from repro.workloads.xsbench import XSBench
+
+POLICIES = ["linux-4kb", "linux-2mb", "ingens-90", "hawkeye-pmu", "hawkeye-g"]
+#: paper-length runs (Table 5: ~2280 s / ~2430 s under Linux-4KB): the
+#: fairness effects need execution times comparable to the promotion
+#: timescale.  Runs use 2 s epochs to stay fast.
+WORK_S = {"graph500": 1980.0, "xsbench": 2070.0}
+INSTANCES = 3
+
+PAPER_SPEEDUPS = {  # Table 5 averages over Linux-4KB
+    "graph500": {"linux-2mb": 1.02, "ingens-90": 1.01, "hawkeye-pmu": 1.14, "hawkeye-g": 1.13},
+    "xsbench": {"linux-2mb": 1.00, "ingens-90": 1.00, "hawkeye-pmu": 1.15, "hawkeye-g": 1.15},
+}
+
+
+def run_case(wname, wl_cls, policy, scale):
+    kernel = make_kernel(96 * GB, policy, scale, epoch_us=2 * SEC)
+    fragment(kernel)
+    runs = [
+        kernel.spawn(wl_cls(scale=scale.factor, work_us=WORK_S[wname] * SEC,
+                            name=f"{wl_cls.__name__.lower()}-{i + 1}"))
+        for i in range(INSTANCES)
+    ]
+    kernel.run(max_epochs=8000)
+    times = [r.elapsed_us / SEC for r in runs]
+    promos = [r.proc.stats.promotions for r in runs]
+    return {"times": times, "promotions": promos}
+
+
+def test_fig7_tab5_identical_workloads(benchmark, scale):
+    def experiment():
+        out = {}
+        for wname, wl_cls in (("graph500", Graph500), ("xsbench", XSBench)):
+            out[wname] = {p: run_case(wname, wl_cls, p, scale) for p in POLICIES}
+        return out
+
+    table = run_once(benchmark, experiment)
+    banner("Table 5 / Figure 7: three identical instances, fragmented start")
+    rows = []
+    for wname, per_policy in table.items():
+        base_avg = statistics.mean(per_policy["linux-4kb"]["times"])
+        for policy in POLICIES:
+            r = per_policy[policy]
+            avg = statistics.mean(r["times"])
+            rows.append([
+                wname, policy,
+                " / ".join(f"{t:.0f}" for t in r["times"]),
+                round(avg, 1),
+                f"{base_avg / avg:.3f}x",
+                " / ".join(str(p) for p in r["promotions"]),
+                PAPER_SPEEDUPS[wname].get(policy, "-"),
+            ])
+    print(format_table(
+        ["workload", "policy", "times s (3 instances)", "avg s",
+         "speedup vs 4KB", "promotions", "paper speedup"],
+        rows,
+    ))
+
+    for wname, per_policy in table.items():
+        base_avg = statistics.mean(per_policy["linux-4kb"]["times"])
+        hawk_avg = statistics.mean(per_policy["hawkeye-g"]["times"])
+        linux_avg = statistics.mean(per_policy["linux-2mb"]["times"])
+        # HawkEye clearly beats Linux on average (paper: 1.13-1.15x)
+        assert linux_avg / hawk_avg > 1.03, wname
+        assert base_avg / hawk_avg > 1.07, wname
+        # fairness: HawkEye's promotions are spread evenly; Linux's not
+        linux_promos = per_policy["linux-2mb"]["promotions"]
+        hawk_promos = per_policy["hawkeye-g"]["promotions"]
+        if max(linux_promos) > 0 and max(hawk_promos) > 0:
+            linux_spread = max(linux_promos) - min(linux_promos)
+            hawk_spread = max(hawk_promos) - min(hawk_promos)
+            assert hawk_spread <= max(linux_spread, 2), wname
+    benchmark.extra_info.update({
+        w: {p: round(statistics.mean(per[p]["times"]), 1) for p in POLICIES}
+        for w, per in table.items()
+    })

@@ -1,0 +1,54 @@
+"""Table 2 — TLB-sensitive applications per benchmark suite.
+
+Paper: of 79 applications across seven suites, only 15 gain more than 3 %
+from huge pages.  The bench classifies every catalogued application by
+running its TLB profile through the hardware model (speedup = overhead
+eliminated by full promotion) and compares per-suite counts with the
+paper's column.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import banner, run_once
+from repro.metrics.tables import format_table
+from repro.tlb.mmu_model import MMUModel, RegionLoad
+from repro.workloads import catalog
+
+
+def classify_all():
+    model = MMUModel()
+    results = {}
+    for app in catalog.APPLICATIONS:
+        load_4k = RegionLoad(2000, 512.0, 0.0, 1.0, app.pattern)
+        load_2m = RegionLoad(2000, 512.0, 1.0, 1.0, app.pattern)
+        o4k = model.epoch([load_4k], access_rate=app.access_rate).overhead
+        o2m = model.epoch([load_2m], access_rate=app.access_rate).overhead
+        speedup = (1.0 - o2m) / (1.0 - o4k) - 1.0
+        results[app.name] = (app.suite, speedup, speedup > catalog.SENSITIVITY_THRESHOLD)
+    return results
+
+
+def test_tab2_tlb_sensitivity(benchmark):
+    results = run_once(benchmark, classify_all)
+    banner("Table 2: TLB-sensitive applications per suite (>3% modelled speedup)")
+    rows = []
+    total_apps = total_sensitive = 0
+    for suite, (paper_total, paper_sensitive) in catalog.TABLE2_PAPER.items():
+        apps = [name for name, (s, _, _) in results.items() if s == suite]
+        sensitive = [name for name in apps if results[name][2]]
+        rows.append([
+            suite, len(apps), len(sensitive),
+            f"{paper_total}/{paper_sensitive}",
+            ", ".join(sorted(sensitive)) or "-",
+        ])
+        total_apps += len(apps)
+        total_sensitive += len(sensitive)
+        assert len(apps) == paper_total
+        assert len(sensitive) == paper_sensitive, suite
+    rows.append(["Total", total_apps, total_sensitive, "79/15", ""])
+    print(format_table(
+        ["suite", "apps", "TLB sensitive", "paper (apps/sens)", "which"], rows
+    ))
+    assert total_apps == 79
+    assert total_sensitive == 15
+    benchmark.extra_info["sensitive"] = total_sensitive

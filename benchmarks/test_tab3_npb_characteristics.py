@@ -1,0 +1,80 @@
+"""Table 3 — NPB class-D memory characteristics and MMU overheads.
+
+Paper columns: RSS, WSS, native-4K TLB-miss rate, MMU overhead at 4 KiB
+and 2 MiB, and the huge-page speedup native and virtualised.  The
+headline: working-set size predicts overhead poorly — mg.D (24 GB WSS)
+has ~1 % overhead while cg.D (7–8 GB WSS) has 39 %.
+
+Each workload runs to steady state under Linux-4KB and Linux-2MB; the
+virtual column applies the nested walk-cost model with 4K host backing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import banner, run_once
+from repro.experiments import make_kernel
+from repro.metrics.tables import format_table
+from repro.units import GB, SEC
+from repro.workloads.npb import NPB_SPECS, NPBWorkload
+
+ORDER = ["bt.D", "sp.D", "lu.D", "mg.D", "cg.D", "ft.D", "ua.D"]
+
+
+def measure(which, scale):
+    spec = NPB_SPECS[which]
+    out = {"workload": which}
+    for label, policy in (("4k", "linux-4kb"), ("2m", "linux-2mb")):
+        kernel = make_kernel(96 * GB, policy, scale)
+        run = kernel.spawn(NPBWorkload(which, scale=scale.factor, work_us=600 * SEC))
+        kernel.run_epochs(30)
+        proc = run.proc
+        out[f"overhead_{label}"] = proc.mmu_overhead
+        if label == "4k":
+            # report the model's TLB miss rate and the nested overhead
+            profile = proc.access_profile
+            loads = profile.loads(kernel, proc)
+            epoch = kernel.mmu.epoch(loads, profile.access_rate)
+            out["miss_rate"] = epoch.tlb_miss_rate
+            nested = kernel.mmu.epoch(loads, profile.access_rate, host_huge_fraction=0.0)
+            out["overhead_4k_virtual"] = nested.overhead
+        out[f"rss_{label}"] = proc.rss_pages() * 4096 / GB / scale.factor
+    out["speedup_native"] = (1 - out["overhead_2m"]) / (1 - out["overhead_4k"])
+    out["speedup_virtual"] = (1 - out["overhead_2m"]) / (1 - out["overhead_4k_virtual"])
+    return out
+
+
+def test_tab3_npb_characteristics(benchmark, scale):
+    results = run_once(benchmark, lambda: [measure(w, scale) for w in ORDER])
+    banner("Table 3: NPB class-D MMU overheads and huge-page speedups")
+    rows = []
+    for r in results:
+        spec = NPB_SPECS[r["workload"]]
+        rows.append([
+            r["workload"],
+            f"{r['rss_4k']:.0f}GB",
+            f"{r['miss_rate'] * 100:.1f}%",
+            f"{r['overhead_4k'] * 100:.2f}%",
+            f"{r['overhead_2m'] * 100:.2f}%",
+            f"{r['speedup_native']:.2f}x",
+            f"{r['speedup_virtual']:.2f}x",
+            f"{spec.paper_overhead_4k * 100:.2f}% / {spec.paper_overhead_2m * 100:.2f}%",
+            f"{spec.paper_speedup_native}x / {spec.paper_speedup_virtual}x",
+        ])
+    print(format_table(
+        ["workload", "RSS", "miss rate", "4K ovh", "2M ovh",
+         "native speedup", "virtual speedup", "paper ovh 4K/2M", "paper speedups"],
+        rows,
+    ))
+    by = {r["workload"]: r for r in results}
+    # calibration: every 4K overhead within tolerance of Table 3
+    for which, r in by.items():
+        paper = NPB_SPECS[which].paper_overhead_4k
+        assert abs(r["overhead_4k"] - paper) <= max(0.02, paper * 0.35), which
+        assert r["overhead_2m"] < 0.05
+    # the WSS-is-a-poor-predictor headline
+    assert by["mg.D"]["overhead_4k"] < by["cg.D"]["overhead_4k"] / 10
+    # virtualisation amplifies cg.D the most (paper: 1.62x -> 2.7x)
+    assert by["cg.D"]["speedup_virtual"] > by["cg.D"]["speedup_native"] * 1.3
+    benchmark.extra_info.update(
+        {w: round(by[w]["overhead_4k"], 4) for w in ORDER}
+    )

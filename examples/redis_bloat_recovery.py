@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Memory bloat and recovery: the paper's Figure 1 story, interactively.
+
+A Redis-like server inserts a 45 GB dataset, deletes 80 % of its keys,
+then re-inserts large values until the dataset reaches 45 GB again.
+Under Linux and Ingens, khugepaged-style collapse re-maps the freed pages
+as zero-filled bloat and the machine runs out of memory; HawkEye's
+watermark-triggered bloat recovery de-duplicates the zero pages and the
+workload completes.
+
+Run:  python examples/redis_bloat_recovery.py
+"""
+
+from repro.errors import OutOfMemoryError
+from repro.experiments import Scale, make_kernel, useful_bytes
+from repro.metrics.series import SeriesRecorder
+from repro.units import GB, MB, SEC
+from repro.workloads.redis import RedisFig1
+
+SCALE = Scale(1 / 128)
+
+
+def run(policy: str) -> None:
+    kernel = make_kernel(48 * GB, policy, SCALE)
+    recorder = SeriesRecorder(kernel, every_epochs=30)
+    recorder.probe("rss", lambda k: sum(p.rss_pages() for p in k.processes) * 4096 / MB)
+    workload = RedisFig1(scale=SCALE.factor)
+    run = kernel.spawn(workload)
+
+    outcome = "completed"
+    try:
+        kernel.run(max_epochs=4000)
+    except OutOfMemoryError as exc:
+        outcome = f"OUT OF MEMORY ({exc})"
+
+    proc = run.proc
+    rss = proc.rss_pages() * 4096 / MB
+    useful = useful_bytes(kernel, proc) / MB
+    print(f"\n=== {policy} ===")
+    print(f"outcome: {outcome}")
+    print(f"final RSS {rss:.0f} MB, useful data {useful:.0f} MB, "
+          f"bloat {rss - useful:.0f} MB")
+    print(f"bloat pages recovered by the kernel: "
+          f"{kernel.stats.bloat_pages_recovered}")
+    series = recorder["rss"]
+    peak = max(series.values) if len(series) else 1.0
+    print("RSS timeline (each bar = 30 s):")
+    for t, v in zip(series.times[::4], series.values[::4]):
+        bar = "#" * int(40 * v / peak)
+        print(f"  {t:6.0f}s {v:7.0f} MB |{bar}")
+
+
+def main() -> None:
+    for policy in ("linux-2mb", "ingens-90", "hawkeye-g"):
+        run(policy)
+    print(
+        "\nLinux and Ingens re-collapse the sparsely-used old heap into\n"
+        "zero-filled huge pages until memory runs out; HawkEye detects the\n"
+        "zero-filled bloat (scanning ~10 bytes per in-use page), demotes the\n"
+        "offending huge pages and maps their zero pages copy-on-write onto\n"
+        "the canonical zero frame."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Replaying an application trace instead of hand-modelling it.
+
+A trace is a plain text file of memory behaviour — allocations, touches,
+madvise hints, frees, compute and serving phases.  This example writes a
+trace describing a cache-like application (load, madvise, serve, churn),
+replays it under three policies, and prints what each policy did with it.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+
+from repro.experiments import Scale, make_kernel
+from repro.metrics.tables import format_table
+from repro.units import GB, SEC
+from repro.workloads.trace import TraceWorkload
+
+SCALE = Scale(1 / 128)
+
+TRACE = """
+# a cache-like application, as a trace
+mmap    heap 24GB
+mmap    scratch 4GB
+advise  scratch nohugepage          # metadata: keep it on base pages
+touch   heap 0 4194304 rate=2000000 # load 16 GB of values, client-paced
+touch   scratch
+compute 120s region=heap coverage=400 access_rate=5
+
+free    heap sparse=0.5             # churn: half the keys expire
+serve   300s rate=80000 cost=9      # keep serving while fragmented
+compute 60s region=heap coverage=200 access_rate=5
+"""
+
+
+def main() -> None:
+    with tempfile.NamedTemporaryFile("w", suffix=".trace", delete=False) as fh:
+        fh.write(TRACE)
+        path = fh.name
+
+    rows = []
+    for policy in ("linux-4kb", "linux-2mb", "hawkeye-g"):
+        kernel = make_kernel(48 * GB, policy, SCALE)
+        workload = TraceWorkload.from_file(path, name="cache-app", scale=SCALE.factor)
+        run = kernel.spawn(workload)
+        kernel.run(max_epochs=3000)
+        proc = run.proc
+        rows.append([
+            policy,
+            round(run.elapsed_us / SEC, 1),
+            round(sum(run.served.values()) / 1000.0, 1),
+            proc.stats.faults,
+            proc.stats.huge_faults,
+            proc.stats.promotions,
+            proc.stats.demotions,
+        ])
+    print(format_table(
+        ["policy", "time s", "requests served (K)", "faults",
+         "huge faults", "promotions", "demotions"],
+        rows,
+        title="Replaying the same trace under three policies",
+    ))
+    print(
+        "\nThe scratch VMA's MADV_NOHUGEPAGE hint kept it on base pages\n"
+        "under every policy; only the heap was eligible for huge pages."
+    )
+
+
+if __name__ == "__main__":
+    main()

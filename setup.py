@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables `pip install -e .` without a wheel package.
+
+All metadata lives in pyproject.toml (read by setuptools >= 61).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a policy-level reproduction of HawkEye (ASPLOS 2019).
+
+HawkEye: Efficient Fine-grained OS Support for Huge Pages
+(Panwar, Bansal, Gopinath).
+
+The package simulates an operating system's huge-page management stack —
+buddy allocator, page tables, page-fault path, background promotion
+threads — over an analytic TLB/page-walk hardware model, and implements
+the paper's policies:
+
+>>> from repro import Kernel, KernelConfig, HawkEyePolicy
+>>> from repro.units import GB
+>>> kernel = Kernel(KernelConfig(mem_bytes=1 * GB),
+...                 lambda k: HawkEyePolicy(k, variant="g"))
+
+See ``examples/quickstart.py`` for an end-to-end tour and DESIGN.md for
+the full system inventory.
+"""
+
+from repro.core.hawkeye import HawkEyeConfig, HawkEyePolicy
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    InvalidAddressError,
+    OutOfMemoryError,
+    ReproError,
+)
+from repro.kernel.costs import CostModel
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.patterns import Pattern
+from repro.policies.freebsd import FreeBSDPolicy
+from repro.policies.ingens import IngensPolicy
+from repro.policies.linux import Linux4KPolicy, LinuxTHPPolicy
+from repro.tlb.tlb import TLBConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "ConfigError",
+    "CostModel",
+    "FreeBSDPolicy",
+    "HawkEyeConfig",
+    "HawkEyePolicy",
+    "IngensPolicy",
+    "InvalidAddressError",
+    "Kernel",
+    "KernelConfig",
+    "Linux4KPolicy",
+    "LinuxTHPPolicy",
+    "OutOfMemoryError",
+    "Pattern",
+    "ReproError",
+    "TLBConfig",
+    "__version__",
+]

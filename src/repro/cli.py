@@ -1,0 +1,256 @@
+"""Command-line interface: run simulations without writing a script.
+
+Examples::
+
+    python -m repro list
+    python -m repro run xsbench --policy hawkeye-g --fragment
+    python -m repro compare cg.D --policies linux-4kb,linux-2mb,hawkeye-g
+    python -m repro bench fig1
+
+``run`` executes one workload under one policy and prints a summary plus
+/proc-style snapshots; ``compare`` races one workload across policies;
+``bench`` shells out to the pytest benchmark that regenerates a paper
+table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.errors import OutOfMemoryError
+from repro.experiments import POLICIES, Scale, fragment, make_kernel
+from repro.kernel import procfs
+from repro.metrics.tables import format_table
+from repro.units import GB, SEC
+from repro.workloads.graph import Graph500, PageRank
+from repro.workloads.haccio import HaccIO
+from repro.workloads.microbench import AllocTouchFree, RandomAccess, SequentialAccess
+from repro.workloads.npb import NPB_SPECS, NPBWorkload
+from repro.workloads.redis import RedisBulkInsert, RedisChurn, RedisFig1, RedisLight
+from repro.workloads.sparsehash import SparseHash
+from repro.workloads.spinup import JVMSpinUp, KVMSpinUp
+from repro.workloads.xsbench import XSBench
+
+#: CLI workload registry: name -> (description, factory(scale_factor)).
+WORKLOADS: dict[str, tuple[str, Callable[[float], object]]] = {
+    "graph500": ("Graph500 BFS, hot data in high VAs",
+                 lambda f: Graph500(scale=f)),
+    "xsbench": ("XSBench Monte Carlo lookups", lambda f: XSBench(scale=f)),
+    "pagerank": ("PageRank over an edge list", lambda f: PageRank(scale=f)),
+    "redis-fig1": ("Figure 1 insert/delete/re-insert churn",
+                   lambda f: RedisFig1(scale=f)),
+    "redis-churn": ("Table 7 churn + serve", lambda f: RedisChurn(scale=f)),
+    "redis-bulk": ("Table 8 2MB-value inserts", lambda f: RedisBulkInsert(scale=f)),
+    "redis-light": ("lightly loaded server (Figure 8)", lambda f: RedisLight(scale=f)),
+    "sparsehash": ("hash-table build (Table 8)", lambda f: SparseHash(scale=f)),
+    "hacc-io": ("in-memory FS checkpoint (Table 8)", lambda f: HaccIO(scale=f)),
+    "kvm-spinup": ("KVM guest spin-up (Table 8)", lambda f: KVMSpinUp(scale=f)),
+    "jvm-spinup": ("JVM spin-up (Table 8)", lambda f: JVMSpinUp(scale=f)),
+    "alloc-touch-free": ("Table 1 microbenchmark",
+                         lambda f: AllocTouchFree(scale=f)),
+    "random-4g": ("Table 9 random scan", lambda f: RandomAccess(scale=f)),
+    "sequential-4g": ("Table 9 sequential scan", lambda f: SequentialAccess(scale=f)),
+}
+for _name in NPB_SPECS:
+    WORKLOADS[_name] = (
+        f"NPB {_name} (Table 3)",
+        lambda f, _n=_name: NPBWorkload(_n, scale=f),
+    )
+
+#: bench shorthand -> pytest file.
+BENCHES = {
+    "fig1": "test_fig1_redis_bloat.py",
+    "tab1": "test_tab1_fault_latency.py",
+    "tab2": "test_tab2_tlb_sensitivity.py",
+    "tab3": "test_tab3_npb_characteristics.py",
+    "tab4": "test_tab4_pmu_methodology.py",
+    "fig3": "test_fig3_first_nonzero.py",
+    "fig4": "test_fig4_access_map.py",
+    "fig5": "test_fig5_promotion_efficiency.py",
+    "fig6": "test_fig6_promotion_timeline.py",
+    "fig7": "test_fig7_tab5_identical_workloads.py",
+    "tab5": "test_fig7_tab5_identical_workloads.py",
+    "fig8": "test_fig8_heterogeneous.py",
+    "fig9": "test_fig9_tab6_virtualized.py",
+    "tab6": "test_fig9_tab6_virtualized.py",
+    "tab7": "test_tab7_bloat_vs_performance.py",
+    "tab8": "test_tab8_fast_faults.py",
+    "fig10": "test_fig10_prezero_interference.py",
+    "fig11": "test_fig11_overcommit.py",
+    "tab9": "test_tab9_pmu_vs_g.py",
+    "ablations": "test_ablation_design_choices.py",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the `repro` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HawkEye (ASPLOS'19) huge-page management simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available policies and workloads")
+
+    def common(p):
+        p.add_argument("--policy", default="hawkeye-g", choices=sorted(POLICIES))
+        p.add_argument("--mem-gb", type=float, default=48.0,
+                       help="full-scale machine memory (default 48)")
+        p.add_argument("--scale", type=int, default=128,
+                       help="linear memory scale divisor (default 128)")
+        p.add_argument("--fragment", action="store_true",
+                       help="fragment memory before the workload starts")
+        p.add_argument("--max-epochs", type=int, default=6000)
+
+    run_p = sub.add_parser("run", help="run one workload under one policy")
+    run_p.add_argument("workload", choices=sorted(WORKLOADS))
+    common(run_p)
+    run_p.add_argument("--procfs", action="store_true",
+                       help="print meminfo/vmstat snapshots at the end")
+
+    cmp_p = sub.add_parser("compare", help="race one workload across policies")
+    cmp_p.add_argument("workload", choices=sorted(WORKLOADS))
+    common(cmp_p)
+    cmp_p.add_argument("--policies",
+                       default="linux-4kb,linux-2mb,ingens-90,hawkeye-g",
+                       help="comma-separated policy list")
+
+    bench_p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench_p.add_argument("target", choices=sorted(BENCHES))
+
+    return parser
+
+
+def _execute(workload_name: str, policy: str, args) -> dict:
+    scale = Scale(1.0 / args.scale)
+    kernel = make_kernel(args.mem_gb * GB, policy, scale)
+    if args.fragment:
+        fragment(kernel)
+    _, factory = WORKLOADS[workload_name]
+    run = kernel.spawn(factory(scale.factor))
+    outcome = "completed"
+    try:
+        kernel.run(max_epochs=args.max_epochs)
+    except OutOfMemoryError:
+        outcome = "OOM"
+    if not run.finished and outcome == "completed":
+        outcome = f"timeout after {args.max_epochs} epochs"
+    proc = run.proc
+    return {
+        "kernel": kernel,
+        "run": run,
+        "policy": policy,
+        "outcome": outcome,
+        "time_s": run.elapsed_us / SEC,
+        "faults": proc.stats.faults,
+        "promotions": proc.stats.promotions,
+        "demotions": proc.stats.demotions,
+        "mmu_overhead": kernel.pmu[proc.pid].read_overhead(),
+    }
+
+
+def cmd_list() -> int:
+    """`repro list`: print the policy, workload and bench registries."""
+    print(format_table(
+        ["policy"], [[name] for name in sorted(POLICIES)],
+        title="Policies",
+    ))
+    print()
+    print(format_table(
+        ["workload", "description"],
+        [[name, desc] for name, (desc, _) in sorted(WORKLOADS.items())],
+        title="Workloads",
+    ))
+    print()
+    print(format_table(
+        ["bench", "file"],
+        [[k, v] for k, v in sorted(BENCHES.items())],
+        title="Paper benches (repro bench <name>)",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """`repro run`: execute one workload under one policy; print a summary."""
+    result = _execute(args.workload, args.policy, args)
+    print(format_table(
+        ["field", "value"],
+        [
+            ["workload", args.workload],
+            ["policy", result["policy"]],
+            ["outcome", result["outcome"]],
+            ["time (simulated s)", round(result["time_s"], 1)],
+            ["page faults", result["faults"]],
+            ["promotions", result["promotions"]],
+            ["demotions", result["demotions"]],
+            ["lifetime MMU overhead", f"{result['mmu_overhead'] * 100:.2f}%"],
+        ],
+    ))
+    if args.procfs:
+        kernel = result["kernel"]
+        print("\n# meminfo\n" + procfs.format_meminfo(kernel))
+        print("\n# vmstat")
+        for k, v in procfs.vmstat(kernel).items():
+            print(f"{k} {int(v)}")
+    return 0 if result["outcome"] == "completed" else 1
+
+
+def cmd_compare(args) -> int:
+    """`repro compare`: race one workload across several policies."""
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    results = [_execute(args.workload, p, args) for p in policies]
+    finished = [r for r in results if r["outcome"] == "completed"]
+    base = finished[0]["time_s"] if finished else None
+    rows = []
+    for r in results:
+        speedup = f"{base / r['time_s']:.3f}x" if base and r["outcome"] == "completed" else "-"
+        rows.append([
+            r["policy"], r["outcome"], round(r["time_s"], 1), speedup,
+            r["faults"], r["promotions"],
+            f"{r['mmu_overhead'] * 100:.2f}%",
+        ])
+    print(format_table(
+        ["policy", "outcome", "time s", f"speedup vs {policies[0]}",
+         "faults", "promotions", "lifetime ovh"],
+        rows,
+        title=f"{args.workload} on {args.mem_gb:.0f} GB (1/{args.scale} scale"
+              f"{', fragmented' if args.fragment else ''})",
+    ))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """`repro bench`: shell out to the pytest bench for a paper table/figure."""
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    target = bench_dir / BENCHES[args.target]
+    return subprocess.call([
+        sys.executable, "-m", "pytest", str(target),
+        "--benchmark-only", "-q", "-s",
+    ])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""HawkEye: the paper's contribution.
+
+Four cooperating mechanisms (paper §3):
+
+* :mod:`repro.core.prezero` — asynchronous rate-limited page pre-zeroing
+  with non-temporal stores (§3.1);
+* :mod:`repro.core.bloat` — watermark-triggered recovery of zero-filled
+  bloat inside huge pages (§3.2);
+* :mod:`repro.core.access_map` — fine-grained access-coverage tracking in
+  a per-process bucket array (§3.3);
+* :mod:`repro.core.promotion` — cross-process promotion ordering, by
+  estimated (HawkEye-G) or measured (HawkEye-PMU) MMU overhead (§3.4).
+
+:class:`repro.core.hawkeye.HawkEyePolicy` packages them behind the
+standard policy interface.
+"""
+
+from repro.core.access_map import AccessMap, bucket_of
+from repro.core.bloat import BloatRecovery
+from repro.core.hawkeye import HawkEyeConfig, HawkEyePolicy
+from repro.core.prezero import PreZeroThread
+from repro.core.promotion import PromotionEngine
+
+__all__ = [
+    "AccessMap",
+    "BloatRecovery",
+    "HawkEyeConfig",
+    "HawkEyePolicy",
+    "PreZeroThread",
+    "PromotionEngine",
+    "bucket_of",
+]

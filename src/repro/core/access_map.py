@@ -1,0 +1,109 @@
+"""HawkEye's per-process ``access_map`` (paper §3.3, Figure 4).
+
+The access_map is an array of buckets over access-coverage: regions whose
+EMA coverage is 0–49 base pages sit in bucket 0, 50–99 in bucket 1, …,
+450+ in bucket 9.  It encodes *frequency* (the bucket index — how many
+TLB entries the region's accesses demand) and *recency* (position within
+a bucket: a region moving **up** is inserted at the head, a region moving
+**down** at the tail, and promotion consumes buckets from high index to
+low, head to tail).  Cold regions therefore drift to low buckets and
+bucket tails, deferring their promotion automatically.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.units import PAGES_PER_HUGE
+
+#: bucket width in access-coverage units (paper: 10 buckets over 0..512).
+BUCKET_WIDTH = 50
+NUM_BUCKETS = 10
+
+
+def bucket_of(coverage: float) -> int:
+    """Bucket index for an access-coverage value (0..512)."""
+    if coverage < 0:
+        raise ValueError(f"coverage must be non-negative, got {coverage}")
+    return min(NUM_BUCKETS - 1, int(coverage) // BUCKET_WIDTH)
+
+
+class AccessMap:
+    """Bucketed ordering of one process's promotion candidates."""
+
+    def __init__(self) -> None:
+        #: each bucket is an ordered set: iteration order = head to tail.
+        self.buckets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(NUM_BUCKETS)
+        ]
+        self._bucket_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._bucket_of)
+
+    def __contains__(self, hvpn: int) -> bool:
+        return hvpn in self._bucket_of
+
+    def update(self, hvpn: int, coverage: float) -> None:
+        """Place/move a region according to its new EMA coverage.
+
+        Moving up inserts at the bucket head (recently hot), moving down
+        appends at the tail; unchanged buckets keep their position.
+        """
+        new = bucket_of(min(coverage, PAGES_PER_HUGE))
+        old = self._bucket_of.get(hvpn)
+        if old == new:
+            return
+        if old is not None:
+            del self.buckets[old][hvpn]
+        moved_up = old is None or new > old
+        bucket = self.buckets[new]
+        if moved_up:
+            bucket[hvpn] = None
+            bucket.move_to_end(hvpn, last=False)  # head
+        else:
+            bucket[hvpn] = None  # tail
+        self._bucket_of[hvpn] = new
+
+    def remove(self, hvpn: int) -> None:
+        """Drop a region from the map (promoted, freed, or exited)."""
+        old = self._bucket_of.pop(hvpn, None)
+        if old is not None:
+            del self.buckets[old][hvpn]
+
+    def highest_nonempty(self) -> int | None:
+        """Index of the hottest non-empty bucket, or None when empty."""
+        for idx in range(NUM_BUCKETS - 1, -1, -1):
+            if self.buckets[idx]:
+                return idx
+        return None
+
+    def head(self, idx: int) -> int | None:
+        """First (most recently hot) region of bucket ``idx``."""
+        bucket = self.buckets[idx]
+        return next(iter(bucket)) if bucket else None
+
+    def pop_next(self) -> int | None:
+        """Remove and return the next region in promotion order."""
+        idx = self.highest_nonempty()
+        if idx is None:
+            return None
+        hvpn = next(iter(self.buckets[idx]))
+        self.remove(hvpn)
+        return hvpn
+
+    def iter_promotion_order(self):
+        """All regions, hottest bucket first, head to tail within buckets."""
+        for idx in range(NUM_BUCKETS - 1, -1, -1):
+            yield from self.buckets[idx]
+
+    def pressure_estimate(self) -> float:
+        """Crude TLB-entry demand of the unpromoted candidates.
+
+        Used by HawkEye-G as its stand-in for measured MMU overhead: the
+        sum of bucket mid-point coverages approximates how many base-page
+        TLB entries the candidates would occupy."""
+        total = 0.0
+        for idx, bucket in enumerate(self.buckets):
+            total += len(bucket) * (idx + 0.5) * BUCKET_WIDTH
+        return total

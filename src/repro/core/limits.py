@@ -1,0 +1,57 @@
+"""Huge-page allocation limits (paper §3.5, "huge page starvation").
+
+The paper notes that allocating huge pages purely by MMU overhead lets an
+adversarial process monopolise contiguity, and suggests integrating with
+resource-limiting tools like cgroups.  This module implements that
+extension: a :class:`HugePageLimits` registry caps the number of huge
+pages a process (or cgroup of processes) may hold; the promotion engine
+skips processes at their cap, and the fault path falls back to base pages
+for them.
+
+Limits are expressed in huge pages and may be attached to a process name
+(exact match) or a name prefix (``prefix*`` — a crude cgroup).
+"""
+
+from __future__ import annotations
+
+from repro.vm.process import Process
+
+
+class HugePageLimits:
+    """Per-process / per-group caps on held huge pages."""
+
+    def __init__(self, limits: dict[str, int] | None = None):
+        self._exact: dict[str, int] = {}
+        self._prefix: list[tuple[str, int]] = []
+        for pattern, cap in (limits or {}).items():
+            self.set_limit(pattern, cap)
+        #: promotion attempts refused because a cap was reached.
+        self.refusals = 0
+
+    def set_limit(self, pattern: str, cap: int) -> None:
+        """Cap ``pattern`` (exact name, or ``prefix*``) at ``cap`` huge pages."""
+        if cap < 0:
+            raise ValueError(f"cap must be non-negative, got {cap}")
+        if pattern.endswith("*"):
+            self._prefix.append((pattern[:-1], cap))
+        else:
+            self._exact[pattern] = cap
+
+    def limit_for(self, proc: Process) -> int | None:
+        """Effective cap for ``proc``, or None when unlimited."""
+        if proc.name in self._exact:
+            return self._exact[proc.name]
+        matches = [cap for prefix, cap in self._prefix if proc.name.startswith(prefix)]
+        return min(matches) if matches else None
+
+    def held(self, proc: Process) -> int:
+        """Huge pages the process currently maps."""
+        return len(proc.page_table.huge)
+
+    def may_promote(self, proc: Process) -> bool:
+        """True when ``proc`` may receive one more huge page."""
+        cap = self.limit_for(proc)
+        if cap is None or self.held(proc) < cap:
+            return True
+        self.refusals += 1
+        return False

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the simulator.
+
+Every failure mode a caller can reasonably handle has its own exception
+type; everything derives from :class:`ReproError` so library users can
+catch the whole family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class OutOfMemoryError(ReproError):
+    """Physical memory (including swap, when configured) is exhausted.
+
+    Mirrors the kernel OOM condition the paper's Figure 1 experiment runs
+    Redis into under Linux and Ingens.
+    """
+
+
+class InvalidAddressError(ReproError):
+    """A virtual address fell outside every VMA of the process."""
+
+
+class AllocationError(ReproError):
+    """The buddy allocator could not satisfy a request it was expected to."""
+
+
+class ConfigError(ReproError):
+    """An experiment or kernel configuration value is out of range."""

@@ -1,0 +1,8 @@
+"""OS kernel simulation: clock, costs, fault path, syscalls and the Kernel façade."""
+
+from repro.kernel.costs import CostModel
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.kthread import RateLimiter
+from repro.kernel.stats import KernelStats
+
+__all__ = ["CostModel", "Kernel", "KernelConfig", "KernelStats", "RateLimiter"]

@@ -1,0 +1,175 @@
+"""The page-fault path.
+
+``handle_fault`` implements the fault handler all policies share, with
+policy hooks at the decision points (mapping granularity, reserved
+frames).  It returns the fault's latency in microseconds — the quantity
+Table 1 of the paper decomposes — and charges it to the process's
+per-epoch fault-time account.
+
+Zeroing semantics follow the paper exactly: anonymous pages must be
+zeroed before mapping; baselines zero synchronously in the fault path
+(they do not track frame content), while a policy with
+``trusts_zero_lists`` set skips the clearing when the buddy allocator
+handed out a pre-zeroed frame (HawkEye §3.1).  Writes to shared-zero
+mappings (created by bloat recovery, §3.2) take a copy-on-write fault.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.units import PAGES_PER_HUGE
+from repro.vm.process import Process
+from repro.vm.vma import VMA, HugePageHint, VMAKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+def handle_fault(kernel: "Kernel", proc: Process, vpn: int, vma: VMA | None = None) -> float:
+    """Fault on ``vpn``; returns the fault latency in µs (0 if already mapped)."""
+    pt = proc.page_table
+    pte = pt.base.get(vpn)
+    if pte is not None:
+        if pte.shared_zero:
+            return _cow_break(kernel, proc, vpn)
+        if pte.shared_cow:
+            return _cow_break_shared(kernel, proc, vpn)
+        pte.accessed = True
+        return 0.0
+    huge_pte = pt.huge.get(vpn >> 9)
+    if huge_pte is not None:
+        huge_pte.accessed = True
+        return 0.0
+
+    if vma is None:
+        vma = proc.vmas.find(vpn)
+    hvpn = vpn >> 9
+    region = proc.region(hvpn)
+    policy = kernel.policy
+    anon = vma.kind is VMAKind.ANON
+
+    # madvise hints trump the policy: NOHUGEPAGE forces base pages,
+    # HUGEPAGE requests a huge mapping even from reluctant policies.
+    if vma.hint is HugePageHint.NEVER:
+        want_huge = False
+    elif vma.hint is HugePageHint.ALWAYS:
+        want_huge = True
+    else:
+        want_huge = policy.fault_size(proc, vma, vpn) == "huge"
+
+    if (
+        want_huge
+        and region.resident == 0
+        and vma.covers(hvpn << 9, PAGES_PER_HUGE)
+    ):
+        latency = _try_huge_fault(kernel, proc, vma, hvpn, anon)
+        if latency is not None:
+            return latency
+
+    return _base_fault(kernel, proc, vma, vpn, region, anon)
+
+
+def _try_huge_fault(kernel: "Kernel", proc: Process, vma: VMA, hvpn: int, anon: bool) -> float | None:
+    """Map a whole huge page at fault time; None when no block is available."""
+    got = kernel.buddy.try_alloc(order=9, prefer_zero=anon, owner=proc.pid)
+    if got is None:
+        return None
+    frame, zeroed = got
+    backing_us = kernel.notify_alloc(frame, PAGES_PER_HUGE)
+    needs_zero = anon and (not zeroed or not kernel.policy.trusts_zero_lists)
+    if needs_zero:
+        kernel.frames.zero_fill(frame, PAGES_PER_HUGE)
+    pt_entry = proc.page_table.map_huge(hvpn, frame)
+    pt_entry.accessed = True
+    kernel.rmap_add_huge(frame, proc, hvpn)
+    region = proc.region(hvpn)
+    region.is_huge = True
+    region.resident = PAGES_PER_HUGE
+    latency = kernel.costs.huge_fault(needs_zero) + backing_us
+    proc.stats.faults += 1
+    proc.stats.huge_faults += 1
+    proc.stats.fault_time_us += latency
+    proc.fault_time_epoch_us += latency
+    kernel.stats.faults += 1
+    kernel.stats.huge_faults += 1
+    kernel.policy.post_fault(proc, vma, hvpn << 9, huge=True)
+    return latency
+
+
+def _base_fault(
+    kernel: "Kernel", proc: Process, vma: VMA, vpn: int, region, anon: bool
+) -> float:
+    """Map a single base page, from a reservation or the buddy allocator."""
+    policy = kernel.policy
+    frame = policy.reserved_frame(proc, vma, vpn)
+    backing_us = 0.0
+    if frame is not None:
+        zeroed = kernel.frames.is_zero(frame)
+    else:
+        frame, zeroed = kernel.alloc_base_frame(prefer_zero=anon, owner=proc.pid)
+        backing_us = kernel.notify_alloc(frame, 1)
+    swapped_in = kernel.swap is not None and kernel.swap.is_swapped(proc.pid, vpn)
+    if swapped_in:
+        backing_us += kernel.swap.swap_in(proc.pid, vpn)
+        # The page's old (non-zero) content comes back from swap.
+        kernel.frames.write(frame, first_nonzero=9)
+    needs_zero = not swapped_in and anon and (not zeroed or not policy.trusts_zero_lists)
+    if needs_zero:
+        kernel.frames.zero_fill(frame, 1)
+    pte = proc.page_table.map_base(vpn, frame)
+    pte.accessed = True
+    kernel.rmap_add(frame, proc, vpn)
+    region.resident += 1
+    latency = kernel.costs.base_fault(needs_zero) + backing_us
+    proc.stats.faults += 1
+    proc.stats.fault_time_us += latency
+    proc.fault_time_epoch_us += latency
+    kernel.stats.faults += 1
+    policy.post_fault(proc, vma, vpn, huge=False)
+    return latency
+
+
+def _cow_break_shared(kernel: "Kernel", proc: Process, vpn: int) -> float:
+    """Write to a ksm-merged mapping: copy the content back out."""
+    pte = proc.page_table.base[vpn]
+    canonical = pte.frame
+    frame, _ = kernel.alloc_base_frame(prefer_zero=False, owner=proc.pid)
+    kernel.frames.first_nonzero[frame] = kernel.frames.first_nonzero[canonical]
+    kernel.frames.content_tag[frame] = kernel.frames.content_tag[canonical]
+    kernel.cow_registry.unshare(canonical)
+    kernel.cow_registry.cow_breaks += 1
+    pte.frame = frame
+    pte.shared_cow = False
+    pte.dirty = True
+    kernel.rmap_add(frame, proc, vpn)
+    latency = kernel.costs.cow_fault_us
+    proc.stats.faults += 1
+    proc.stats.cow_faults += 1
+    proc.stats.fault_time_us += latency
+    proc.fault_time_epoch_us += latency
+    kernel.stats.faults += 1
+    kernel.stats.cow_faults += 1
+    return latency
+
+
+def _cow_break(kernel: "Kernel", proc: Process, vpn: int) -> float:
+    """Write to a shared-zero mapping: allocate a private copy."""
+    pte = proc.page_table.base[vpn]
+    frame, zeroed = kernel.alloc_base_frame(prefer_zero=True, owner=proc.pid)
+    if not zeroed:
+        kernel.frames.zero_fill(frame, 1)
+    pte.frame = frame
+    pte.shared_zero = False
+    pte.dirty = True
+    proc.page_table.shared_zero_count -= 1
+    kernel.rmap_add(frame, proc, vpn)
+    kernel.zero_registry.cow_break()
+    latency = kernel.costs.cow_fault_us
+    proc.stats.faults += 1
+    proc.stats.cow_faults += 1
+    proc.stats.fault_time_us += latency
+    proc.fault_time_epoch_us += latency
+    kernel.stats.faults += 1
+    kernel.stats.cow_faults += 1
+    return latency

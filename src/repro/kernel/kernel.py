@@ -1,0 +1,563 @@
+"""The Kernel façade: physical memory, processes, policy and the epoch loop.
+
+A :class:`Kernel` binds together the substrates (buddy allocator, frame
+table, compaction, fragmenter), the analytic MMU model, one huge-page
+policy and the set of running workloads.  Time advances in epochs (one
+simulated second by default); each epoch every runnable workload steps,
+then the policy performs its rate-limited background work, then access
+bits are sampled on the paper's schedule (every 30 s).
+
+The kernel also owns the mechanisms every policy shares:
+
+* ``promote_region`` — in-place remap when the region's frames are
+  already a contiguous aligned block (huge-at-fault then demoted, or a
+  fully-populated FreeBSD reservation), otherwise a khugepaged-style
+  *collapse*: allocate an order-9 block (compacting if needed), copy
+  resident pages, zero the rest;
+* ``demote_region`` / ``dedup_zero_pages`` — the §3.2 bloat-recovery
+  mechanics: break a huge mapping and remap its zero-filled base pages
+  copy-on-write onto the canonical zero frame;
+* ``madvise_free`` — the release path Redis uses in Figure 1, which
+  breaks huge mappings and returns (dirty) frames to the buddy
+  allocator's non-zero lists;
+* the OOM path: on allocation failure the kernel reclaims file cache,
+  then gives the policy one chance to free memory
+  (:meth:`repro.policies.base.HugePagePolicy.on_memory_pressure`), and
+  only then raises :class:`~repro.errors.OutOfMemoryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import InvalidAddressError, OutOfMemoryError
+from repro.kernel.costs import CostModel
+from repro.kernel.fault import handle_fault
+from repro.kernel.stats import KernelStats
+from repro.kernel.swap import SwapDevice
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.compaction import Compactor
+from repro.mem.fragmentation import Fragmenter, fmfi
+from repro.mem.frames import FrameTable
+from repro.mem.zeropage import ZeroPageRegistry
+from repro.tlb.mmu_model import MMUModel
+from repro.tlb.perf import PMUCounters
+from repro.tlb.tlb import TLBConfig
+from repro.units import PAGES_PER_HUGE, SEC, pages_of
+from repro.vm.process import Process
+from repro.vm.vma import VMA, VMAKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policies.base import HugePagePolicy
+    from repro.workloads.base import Workload, WorkloadRun
+
+#: Owner id of kernel-reserved frames (e.g. the canonical zero page).
+KERNEL_OWNER = -3
+
+
+@dataclass
+class KernelConfig:
+    """Machine and kernel-loop parameters."""
+
+    mem_bytes: int
+    epoch_us: float = SEC
+    #: epochs between access-bit samples (paper §3.3: every 30 seconds).
+    sample_period: int = 30
+    #: EMA smoothing for access-coverage samples.
+    ema_alpha: float = 0.3
+    costs: CostModel = field(default_factory=CostModel)
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    #: page-migration budget for one compaction attempt.
+    compact_budget_pages: int = 4096
+    #: background compaction daemon (kcompactd) rate; 0 disables it.
+    #: When enabled it rebuilds order-9 blocks whenever FMFI is high,
+    #: which is what lets Ingens re-enter its aggressive phase after
+    #: memory churn.
+    kcompactd_pages_per_sec: float = 0.0
+    #: frame content starts zeroed (fresh boot) or dirty (long-running).
+    boot_zeroed: bool = True
+    #: SSD-backed swap partition size; 0 = no swap (OOM on exhaustion).
+    swap_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.errors import ConfigError
+        from repro.units import HUGE_PAGE_SIZE
+
+        if self.mem_bytes < 2 * HUGE_PAGE_SIZE:
+            raise ConfigError(
+                f"mem_bytes={self.mem_bytes} too small: need at least two "
+                f"huge pages ({2 * HUGE_PAGE_SIZE} bytes) of simulated memory"
+            )
+        if self.epoch_us <= 0:
+            raise ConfigError(f"epoch_us must be positive, got {self.epoch_us}")
+        if self.sample_period < 1:
+            raise ConfigError(f"sample_period must be >= 1, got {self.sample_period}")
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ConfigError(f"ema_alpha must be in (0, 1], got {self.ema_alpha}")
+        if self.swap_bytes < 0:
+            raise ConfigError(f"swap_bytes must be non-negative, got {self.swap_bytes}")
+
+
+class Kernel:
+    """One simulated machine running one policy."""
+
+    def __init__(self, config: KernelConfig, policy_factory: Callable[["Kernel"], "HugePagePolicy"]):
+        self.config = config
+        self.costs = config.costs
+        self.frames = FrameTable(pages_of(config.mem_bytes))
+        if not config.boot_zeroed:
+            self.frames.first_nonzero[:] = 0
+        self.buddy = BuddyAllocator(self.frames)
+        self.fragmenter = Fragmenter(self.buddy)
+        self.compactor = Compactor(self.buddy, self._migrate_frame)
+        self.mmu = MMUModel(config.tlb)
+        self.stats = KernelStats()
+        self.now_us = 0.0
+        self.processes: list[Process] = []
+        self.runs: list["WorkloadRun"] = []
+        self.pmu: dict[int, PMUCounters] = {}
+        #: frame -> (process, vpn) for base mappings; huge heads separate.
+        self._rmap: dict[int, tuple[Process, int]] = {}
+        self._rmap_huge: dict[int, tuple[Process, int]] = {}
+        #: slowdown factor the pre-zeroing thread imposes this epoch,
+        #: scaled by each workload's cache sensitivity (Figure 10 model).
+        self.prezero_interference = 0.0
+        #: environment-imposed slowdown (e.g. host swap thrash for a VM).
+        self.external_slowdown = 0.0
+        #: called with (start_frame, count) whenever frames are allocated;
+        #: returns extra latency (the virt layer backs guest frames with
+        #: host faults here).  None outside virtualised setups.
+        self.frame_alloc_hook: Optional[Callable[[int, int], float]] = None
+        self.swap = (
+            SwapDevice(self, pages_of(config.swap_bytes)) if config.swap_bytes else None
+        )
+        #: host backing for nested walks; the virt layer overrides this.
+        self.host_huge_fraction: Callable[[Process], Optional[float]] = lambda proc: None
+        self.epoch_hooks: list[Callable[["Kernel"], None]] = []
+        self._va_cursor: dict[int, int] = {}
+        zero_frame, _ = self.buddy.alloc(order=0, owner=KERNEL_OWNER)
+        self.frames.zero_fill(zero_frame)
+        self.frames.pinned[zero_frame] = True
+        self.zero_registry = ZeroPageRegistry(zero_frame)
+        from repro.mem.samepage import CowShareRegistry
+
+        #: canonical frames for ksm-merged (content-identical) pages.
+        self.cow_registry = CowShareRegistry(self)
+        self.policy: "HugePagePolicy" = policy_factory(self)
+
+    # ------------------------------------------------------------------ #
+    # process / workload management                                       #
+    # ------------------------------------------------------------------ #
+
+    def spawn(self, workload: "Workload", name: str | None = None) -> "WorkloadRun":
+        """Create a process running ``workload``; returns its run handle."""
+        from repro.workloads.base import WorkloadRun
+
+        proc = Process(name or workload.name)
+        proc.launch_index = len(self.processes)
+        self.processes.append(proc)
+        self.pmu[proc.pid] = PMUCounters()
+        run = WorkloadRun(self, proc, workload)
+        self.runs.append(run)
+        return run
+
+    def exit_process(self, proc: Process) -> int:
+        """Tear a process down: unmap everything, free its frames.
+
+        Returns the number of physical pages released.  The policy's
+        per-process bookkeeping is dropped via ``on_process_exit`` and
+        the workload run (if any) is marked finished.
+        """
+        pt = proc.page_table
+        freed = 0
+        for hvpn in list(pt.huge):
+            huge_pte = pt.unmap_huge(hvpn)
+            self._rmap_huge.pop(huge_pte.frame, None)
+            self.buddy.free(huge_pte.frame, 9)
+            freed += PAGES_PER_HUGE
+        for vpn in list(pt.base):
+            pte = pt.unmap_base(vpn)
+            if pte.shared_zero:
+                self.zero_registry.unshare()
+            elif pte.shared_cow:
+                self.cow_registry.unshare(pte.frame)
+            else:
+                self._rmap.pop(pte.frame, None)
+                self.buddy.free(pte.frame, 0)
+                freed += 1
+        if self.swap is not None:
+            self.swap.swapped = {
+                (pid, vpn) for pid, vpn in self.swap.swapped if pid != proc.pid
+            }
+        proc.regions.clear()
+        for vma in list(proc.vmas):
+            proc.vmas.remove(vma)
+        self.policy.on_process_exit(proc)
+        if proc in self.processes:
+            self.processes.remove(proc)
+        self.pmu.pop(proc.pid, None)
+        for run in self.runs:
+            if run.proc is proc and not run.finished:
+                run.finished = True
+                run.finish_time_us = self.now_us
+                proc.finished = True
+        proc.access_profile = None
+        return freed
+
+    def mmap(self, proc: Process, nbytes: int, name: str, kind: VMAKind = VMAKind.ANON) -> VMA:
+        """Create an anonymous/file VMA at the next huge-aligned address."""
+        npages = pages_of(nbytes)
+        cursor = self._va_cursor.get(proc.pid, PAGES_PER_HUGE)
+        vma = proc.vmas.add(VMA(cursor, npages, name, kind))
+        # Leave a guard region so separate VMAs never share a huge region.
+        end = cursor + npages
+        self._va_cursor[proc.pid] = end + PAGES_PER_HUGE - (end % PAGES_PER_HUGE or PAGES_PER_HUGE) + PAGES_PER_HUGE
+        return vma
+
+    def find_vma(self, proc: Process, name: str) -> VMA:
+        """Look up a process's VMA by name; raises InvalidAddressError."""
+        for vma in proc.vmas:
+            if vma.name == name:
+                return vma
+        raise InvalidAddressError(f"process {proc.name} has no VMA named {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # faulting and unmapping                                              #
+    # ------------------------------------------------------------------ #
+
+    def fault(self, proc: Process, vpn: int) -> float:
+        """Touch one virtual page; returns fault latency in µs."""
+        return handle_fault(self, proc, vpn)
+
+    def madvise_free(self, proc: Process, vpn: int, npages: int) -> float:
+        """MADV_DONTNEED/MADV_FREE: release a range back to the kernel.
+
+        Huge mappings overlapping the range are demoted first (the kernel
+        "breaks" them, paper §2.1), then pages unmap and frames return to
+        the buddy allocator's non-zero free lists.
+        """
+        pt = proc.page_table
+        cost = 0.0
+        for hvpn in range(vpn >> 9, (vpn + npages - 1 >> 9) + 1):
+            if hvpn in pt.huge and self._range_overlaps_region(vpn, npages, hvpn):
+                cost += self.demote_region(proc, hvpn)
+        for page in range(vpn, vpn + npages):
+            pte = pt.base.get(page)
+            if pte is None:
+                continue
+            self._unmap_base_page(proc, page)
+            region = proc.region(page >> 9)
+            region.resident -= 1
+            cost += 0.2
+        self.policy.on_madvise_free(proc, vpn, npages)
+        proc.fault_time_epoch_us += cost
+        return cost
+
+    @staticmethod
+    def _range_overlaps_region(vpn: int, npages: int, hvpn: int) -> bool:
+        lo, hi = hvpn << 9, (hvpn + 1) << 9
+        return vpn < hi and vpn + npages > lo
+
+    def _unmap_base_page(self, proc: Process, vpn: int) -> None:
+        pte = proc.page_table.unmap_base(vpn)
+        if pte.shared_zero:
+            self.zero_registry.unshare()
+        elif pte.shared_cow:
+            self.cow_registry.unshare(pte.frame)
+        else:
+            self._rmap.pop(pte.frame, None)
+            self.buddy.free(pte.frame, 0)
+
+    # ------------------------------------------------------------------ #
+    # allocation with memory-pressure fallback                            #
+    # ------------------------------------------------------------------ #
+
+    def notify_alloc(self, start: int, count: int) -> float:
+        """Run the frame-allocation hook; returns extra backing latency."""
+        if self.frame_alloc_hook is None:
+            return 0.0
+        return self.frame_alloc_hook(start, count)
+
+    def alloc_base_frame(self, prefer_zero: bool, owner: int) -> tuple[int, bool]:
+        """Allocate one frame; reclaims, swaps and asks the policy under pressure."""
+        while True:
+            got = self.buddy.try_alloc(0, prefer_zero, owner)
+            if got is not None:
+                return got
+            freed = self.fragmenter.reclaim(PAGES_PER_HUGE)
+            self.stats.reclaimed_file_pages += freed
+            if freed == 0:
+                freed = self.policy.on_memory_pressure(PAGES_PER_HUGE)
+            if freed == 0 and self.swap is not None:
+                freed = self.swap.swap_out(PAGES_PER_HUGE)
+            if freed == 0:
+                self.stats.oom_kills += 1
+                raise OutOfMemoryError(
+                    f"out of memory at t={self.now_us / SEC:.0f}s "
+                    f"({self.buddy.allocated_pages}/{self.buddy.total_pages} pages allocated)"
+                )
+
+    def alloc_huge_block(self, prefer_zero: bool, owner: int, compact: bool = True) -> tuple[int, bool] | None:
+        """Allocate an order-9 block, compacting once if necessary."""
+        got = self.buddy.try_alloc(9, prefer_zero, owner)
+        if got is None and compact:
+            run = self.compactor.run(self.config.compact_budget_pages)
+            self.stats.compaction_pages_moved += run.pages_moved
+            got = self.buddy.try_alloc(9, prefer_zero, owner)
+        if got is not None:
+            self.stats.khugepaged_cpu_us += self.notify_alloc(got[0], PAGES_PER_HUGE)
+        return got
+
+    # ------------------------------------------------------------------ #
+    # reverse mapping and migration                                       #
+    # ------------------------------------------------------------------ #
+
+    def rmap_add(self, frame: int, proc: Process, vpn: int) -> None:
+        """Record the reverse mapping of a base frame to (process, vpn)."""
+        self._rmap[frame] = (proc, vpn)
+
+    def rmap_add_huge(self, frame: int, proc: Process, hvpn: int) -> None:
+        """Record the reverse mapping of a huge block's head frame."""
+        self._rmap_huge[frame] = (proc, hvpn)
+
+    def _migrate_frame(self, old: int, new: int) -> bool:
+        """Compaction callback: rebind one base mapping old -> new."""
+        entry = self._rmap.pop(old, None)
+        if entry is None:
+            # Not process-mapped: clean page-cache pages are movable too.
+            return self.fragmenter.migrate_page(old, new)
+        proc, vpn = entry
+        pte = proc.page_table.base.get(vpn)
+        if pte is None or pte.frame != old:
+            return False
+        pte.frame = new
+        self._rmap[new] = (proc, vpn)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # promotion / demotion / deduplication                                #
+    # ------------------------------------------------------------------ #
+
+    def madvise_hugepage(self, proc: Process, name: str, hint) -> None:
+        """madvise(MADV_HUGEPAGE / MADV_NOHUGEPAGE) on a named VMA."""
+        self.find_vma(proc, name).hint = hint
+
+    def can_promote(self, proc: Process, hvpn: int) -> bool:
+        """Whether a region is currently eligible for huge promotion."""
+        from repro.vm.vma import HugePageHint
+
+        region = proc.regions.get(hvpn)
+        if region is None or region.is_huge or region.resident == 0:
+            return False
+        vma = proc.vmas.try_find(hvpn << 9)
+        if vma is None or vma.hint is HugePageHint.NEVER:
+            return False
+        return vma.covers(hvpn << 9, PAGES_PER_HUGE)
+
+    def promote_region(self, proc: Process, hvpn: int) -> float | None:
+        """Promote one region to a huge mapping.
+
+        Returns the kernel CPU time spent, or None when promotion was not
+        possible (no contiguity even after compaction, or not promotable).
+        A small stall is charged to the process (TLB shootdown, mmap_sem).
+        """
+        if not self.can_promote(proc, hvpn):
+            return None
+        pt = proc.page_table
+        vpn0 = hvpn << 9
+        region = proc.region(hvpn)
+        base_vpns = pt.region_base_vpns(hvpn)
+        in_place = self._contiguous_block(pt, vpn0, base_vpns)
+
+        if in_place is not None:
+            for vpn in base_vpns:
+                pte = pt.unmap_base(vpn)
+                self._rmap.pop(pte.frame, None)
+            block = in_place
+            cost = self.costs.remap_us
+            collapsed = False
+        else:
+            got = self.alloc_huge_block(prefer_zero=False, owner=proc.pid)
+            if got is None:
+                return None
+            block = got[0]
+            self.frames.zero_fill(block, PAGES_PER_HUGE)
+            for vpn in base_vpns:
+                pte = pt.unmap_base(vpn)
+                offset = vpn - vpn0
+                if pte.shared_zero:
+                    self.zero_registry.unshare()
+                    continue  # destination already zero
+                self.frames.first_nonzero[block + offset] = self.frames.first_nonzero[pte.frame]
+                self.frames.content_tag[block + offset] = self.frames.content_tag[pte.frame]
+                if pte.shared_cow:
+                    # copy out of the ksm-shared canonical frame
+                    self.cow_registry.unshare(pte.frame)
+                    continue
+                self._rmap.pop(pte.frame, None)
+                self.buddy.free(pte.frame, 0)
+            cost = self.costs.promotion_collapse_us(len(base_vpns))
+            collapsed = True
+
+        huge_pte = pt.map_huge(hvpn, block)
+        huge_pte.accessed = True
+        self.rmap_add_huge(block, proc, hvpn)
+        region.is_huge = True
+        region.resident = PAGES_PER_HUGE
+        region.promotions += 1
+        proc.stats.promotions += 1
+        proc.fault_time_epoch_us += self.costs.promotion_stall_us
+        self.stats.count_promotion(proc.name, collapsed)
+        self.stats.khugepaged_cpu_us += cost
+        return cost
+
+    @staticmethod
+    def _contiguous_block(pt, vpn0: int, base_vpns: list[int]) -> int | None:
+        """Start frame when the region's 512 pages form an aligned block."""
+        if len(base_vpns) != PAGES_PER_HUGE:
+            return None
+        first = pt.base[vpn0]
+        if not first.private or first.frame % PAGES_PER_HUGE != 0:
+            return None
+        block = first.frame
+        for vpn in base_vpns:
+            pte = pt.base[vpn]
+            if not pte.private or pte.frame != block + (vpn - vpn0):
+                return None
+        return block
+
+    def demote_region(self, proc: Process, hvpn: int) -> float:
+        """Break a huge mapping into base mappings over the same frames."""
+        pt = proc.page_table
+        huge_pte = pt.huge[hvpn]
+        self._rmap_huge.pop(huge_pte.frame, None)
+        for vpn, pte in pt.demote_huge(hvpn):
+            self._rmap[pte.frame] = (proc, vpn)
+        region = proc.region(hvpn)
+        region.is_huge = False
+        region.resident = PAGES_PER_HUGE
+        proc.stats.demotions += 1
+        self.stats.demotions += 1
+        return self.costs.remap_us
+
+    def dedup_zero_pages(self, proc: Process, hvpn: int) -> tuple[int, int]:
+        """De-duplicate zero-filled base pages of a (demoted) region.
+
+        Returns ``(pages_recovered, bytes_scanned)``.  The scan stops at
+        the first non-zero byte of each in-use page (§3.2), so its cost is
+        proportional to the number of *bloat* pages, not to the region
+        size.
+        """
+        pt = proc.page_table
+        recovered = 0
+        scanned = 0
+        for vpn in pt.region_base_vpns(hvpn):
+            pte = pt.base[vpn]
+            if not pte.private:
+                continue
+            scanned += self.frames.scan_cost_bytes(pte.frame)
+            if not self.frames.is_zero(pte.frame):
+                continue
+            self._rmap.pop(pte.frame, None)
+            self.buddy.free(pte.frame, 0)
+            pte.frame = self.zero_registry.zero_frame
+            pte.shared_zero = True
+            pt.shared_zero_count += 1
+            self.zero_registry.share()
+            recovered += 1
+        self.stats.bloat_pages_recovered += recovered
+        self.stats.bloat_scan_bytes += scanned
+        return recovered, scanned
+
+    def count_zero_pages(self, proc: Process, hvpn: int) -> tuple[int, int]:
+        """Count zero-filled base pages under a *huge* mapping (with scan cost)."""
+        huge_pte = proc.page_table.huge[hvpn]
+        mask = self.frames.zero_mask(huge_pte.frame, PAGES_PER_HUGE)
+        zeros = int(mask.sum())
+        scanned = 0
+        fnz = self.frames.first_nonzero[huge_pte.frame:huge_pte.frame + PAGES_PER_HUGE]
+        from repro.units import BASE_PAGE_SIZE
+
+        scanned = int((fnz[fnz >= 0] + 1).sum()) + zeros * BASE_PAGE_SIZE
+        return zeros, scanned
+
+    # ------------------------------------------------------------------ #
+    # epoch loop                                                          #
+    # ------------------------------------------------------------------ #
+
+    def allocated_fraction(self) -> float:
+        """Fraction of physical memory currently allocated (0..1)."""
+        return self.buddy.allocated_pages / self.buddy.total_pages
+
+    def fmfi(self, order: int = 9) -> float:
+        """Free Memory Fragmentation Index for the given order (default 9)."""
+        return fmfi(self.buddy, order)
+
+    def active_runs(self) -> list["WorkloadRun"]:
+        """Workload runs that have not finished yet."""
+        return [run for run in self.runs if not run.finished]
+
+    def run_epoch(self) -> None:
+        """Advance the machine by one epoch."""
+        for run in self.active_runs():
+            run.step(self.config.epoch_us)
+        self.policy.on_epoch()
+        self._run_kcompactd()
+        self.stats.epochs += 1
+        self.now_us += self.config.epoch_us
+        if self.stats.epochs % self.config.sample_period == 0:
+            self._sample_access_bits()
+        for hook in self.epoch_hooks:
+            hook(self)
+
+    def run(self, max_epochs: int = 100_000) -> int:
+        """Run until every workload finishes; returns epochs executed."""
+        start = self.stats.epochs
+        while self.active_runs() and self.stats.epochs - start < max_epochs:
+            self.run_epoch()
+        return self.stats.epochs - start
+
+    def run_epochs(self, count: int) -> None:
+        """Run exactly ``count`` epochs regardless of workload state."""
+        for _ in range(count):
+            self.run_epoch()
+
+    #: proactive-compaction target: kcompactd works, rate-limited, until
+    #: this fraction of free memory sits in huge-allocatable blocks again
+    #: (models Linux's compaction_proactiveness).  Ingens's adaptive
+    #: threshold re-enters its aggressive phase once FMFI drops below 0.5,
+    #: so the target must sit below that.
+    KCOMPACTD_TARGET_FMFI = 0.4
+
+    def _run_kcompactd(self) -> None:
+        """Proactive background compaction while fragmentation is high."""
+        rate = self.config.kcompactd_pages_per_sec
+        if rate <= 0 or self.fmfi() <= self.KCOMPACTD_TARGET_FMFI:
+            return
+        budget = int(rate * self.config.epoch_us / SEC)
+        if budget > 0:
+            run = self.compactor.run(budget)
+            self.stats.compaction_pages_moved += run.pages_moved
+
+    def _sample_access_bits(self) -> None:
+        """Paper §3.3: clear access bits, wait one second, read them back.
+
+        Ground-truth coverage comes from the workload's access profile —
+        the simulator's stand-in for reading hardware-set PTE bits — but
+        the scan *cost* is still charged per region."""
+        alpha = self.config.ema_alpha
+        for proc in self.processes:
+            profile = proc.access_profile
+            coverage = profile.region_coverage(self, proc) if profile is not None else {}
+            scanned = 0
+            for hvpn, region in proc.regions.items():
+                if region.resident == 0:
+                    continue
+                sample = min(coverage.get(hvpn, 0), PAGES_PER_HUGE)
+                region.last_coverage = sample
+                region.idle = sample == 0
+                region.coverage_ema = alpha * sample + (1.0 - alpha) * region.coverage_ema
+                scanned += 1
+            self.stats.sampler_cpu_us += scanned * self.costs.sample_region_us
+            self.policy.on_sample(proc)

@@ -1,0 +1,47 @@
+"""Rate limiting for background kernel threads.
+
+Every background mechanism in the paper is rate-limited: khugepaged's
+promotion scan, HawkEye's pre-zeroing thread ("e.g., at most 10k pages
+per second", §4) and the bloat-recovery thread.  ``RateLimiter`` converts
+a per-second rate into a per-epoch work budget, carrying over unused
+budget up to one epoch's worth so bursty consumers see the configured
+average rate.
+"""
+
+from __future__ import annotations
+
+from repro.units import SEC
+
+
+class RateLimiter:
+    """Token bucket refilled once per epoch."""
+
+    def __init__(self, per_second: float, epoch_us: float = SEC):
+        self.per_second = per_second
+        self.epoch_us = epoch_us
+        self._tokens = 0.0
+
+    @property
+    def per_epoch(self) -> float:
+        return self.per_second * (self.epoch_us / SEC)
+
+    def refill(self) -> float:
+        """Start an epoch: add this epoch's tokens.
+
+        The bucket caps at two epochs' worth, but never below 2 tokens so
+        sub-1/epoch rates (heavily scaled-down experiments) still
+        accumulate enough to fire."""
+        cap = max(2.0 * self.per_epoch, 2.0)
+        self._tokens = min(self._tokens + self.per_epoch, cap)
+        return self._tokens
+
+    def take(self, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens if available."""
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        return self._tokens

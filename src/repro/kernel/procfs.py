@@ -1,0 +1,89 @@
+"""/proc-style snapshots of simulator state.
+
+``meminfo`` / ``vmstat`` / ``smaps`` analogues: human-readable, stable
+key sets, built only from public kernel state.  Examples and the CLI use
+these to show what the machine looks like mid-experiment, the way an
+operator would inspect a real system while reproducing the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.units import BASE_PAGE_SIZE, KB, PAGES_PER_HUGE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.vm.process import Process
+
+
+def meminfo(kernel: "Kernel") -> dict[str, int]:
+    """A /proc/meminfo-like snapshot, values in KiB."""
+    pk = BASE_PAGE_SIZE // KB
+    total = kernel.buddy.total_pages
+    free = kernel.buddy.free_pages
+    huge_mapped = sum(p.page_table.huge_mapped_pages() for p in kernel.processes)
+    return {
+        "MemTotal": total * pk,
+        "MemFree": free * pk,
+        "MemAllocated": (total - free) * pk,
+        "FileCache": kernel.fragmenter.cache_pages * pk,
+        "AnonHugePages": huge_mapped * pk,
+        "ZeroedFree": kernel.buddy.free_zeroed_pages() * pk,
+        "ZeroPageShared": kernel.zero_registry.mappings * pk,
+        "SwapUsed": (len(kernel.swap.swapped) * pk) if kernel.swap else 0,
+    }
+
+
+def vmstat(kernel: "Kernel") -> dict[str, float]:
+    """Counter snapshot in the spirit of /proc/vmstat."""
+    s = kernel.stats
+    return {
+        "pgfault": s.faults,
+        "pgfault_huge": s.huge_faults,
+        "pgfault_cow": s.cow_faults,
+        "thp_collapse_alloc": s.collapse_promotions,
+        "thp_promote_inplace": s.inplace_promotions,
+        "thp_split": s.demotions,
+        "pages_prezeroed": s.pages_prezeroed,
+        "bloat_pages_recovered": s.bloat_pages_recovered,
+        "compact_pages_moved": s.compaction_pages_moved,
+        "ksm_pages_merged": s.ksm_merged_pages,
+        "pgreclaim_file": s.reclaimed_file_pages,
+        "oom_kill": s.oom_kills,
+        "pswpout": kernel.swap.swap_outs if kernel.swap else 0,
+        "pswpin": kernel.swap.swap_ins if kernel.swap else 0,
+    }
+
+
+def smaps(kernel: "Kernel", proc: "Process") -> list[dict[str, object]]:
+    """Per-VMA summary, one row per mapping (a compact /proc/pid/smaps)."""
+    rows = []
+    for vma in proc.vmas:
+        huge_regions = sum(
+            1
+            for hvpn in range(vma.start >> 9, ((vma.end - 1) >> 9) + 1)
+            if hvpn in proc.page_table.huge
+        )
+        resident = sum(
+            r.resident
+            for r in proc.regions.values()
+            if vma.start <= (r.hvpn << 9) < vma.end
+        )
+        rows.append({
+            "name": vma.name,
+            "start_page": vma.start,
+            "size_kb": vma.npages * (BASE_PAGE_SIZE // KB),
+            "rss_kb": resident * (BASE_PAGE_SIZE // KB),
+            "anon_huge_kb": huge_regions * PAGES_PER_HUGE * (BASE_PAGE_SIZE // KB),
+            "kind": vma.kind.value,
+            "hint": vma.hint.value,
+        })
+    return rows
+
+
+def format_meminfo(kernel: "Kernel") -> str:
+    """Render :func:`meminfo` in the classic aligned-kB layout."""
+    info = meminfo(kernel)
+    width = max(len(k) for k in info)
+    return "\n".join(f"{k + ':':<{width + 1}} {v:>12} kB" for k, v in info.items())

@@ -1,0 +1,47 @@
+"""Kernel-wide counters.
+
+These aggregate across processes and background threads; per-process
+counters live on :class:`repro.vm.process.ProcessStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelStats:
+    """Counters the whole kernel accumulates over a run."""
+
+    epochs: int = 0
+    faults: int = 0
+    huge_faults: int = 0
+    cow_faults: int = 0
+    promotions: int = 0
+    collapse_promotions: int = 0     # promotions that required a copy
+    inplace_promotions: int = 0      # remap-only promotions
+    demotions: int = 0
+    pages_prezeroed: int = 0
+    prezero_cpu_us: float = 0.0
+    bloat_pages_recovered: int = 0
+    bloat_scan_bytes: int = 0
+    bloat_cpu_us: float = 0.0
+    compaction_pages_moved: int = 0
+    reclaimed_file_pages: int = 0
+    khugepaged_cpu_us: float = 0.0
+    sampler_cpu_us: float = 0.0
+    ksm_merged_pages: int = 0
+    oom_kills: int = 0
+    #: promotions per process name, for fairness analysis.
+    promotions_by_process: dict[str, int] = field(default_factory=dict)
+
+    def count_promotion(self, process_name: str, collapsed: bool) -> None:
+        """Record one promotion, split by collapse vs in-place remap."""
+        self.promotions += 1
+        if collapsed:
+            self.collapse_promotions += 1
+        else:
+            self.inplace_promotions += 1
+        self.promotions_by_process[process_name] = (
+            self.promotions_by_process.get(process_name, 0) + 1
+        )

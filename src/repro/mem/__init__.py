@@ -1,0 +1,24 @@
+"""Physical-memory substrate: frame table, buddy allocator, fragmentation,
+compaction, watermarks, and the canonical zero page.
+"""
+
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.compaction import Compactor
+from repro.mem.fragmentation import Fragmenter, fmfi
+from repro.mem.frames import FrameTable, ZERO_TAG
+from repro.mem.samepage import CowShareRegistry, SamePageMerger
+from repro.mem.watermarks import Watermarks
+from repro.mem.zeropage import ZeroPageRegistry
+
+__all__ = [
+    "BuddyAllocator",
+    "Compactor",
+    "FrameTable",
+    "CowShareRegistry",
+    "Fragmenter",
+    "SamePageMerger",
+    "Watermarks",
+    "ZeroPageRegistry",
+    "ZERO_TAG",
+    "fmfi",
+]

@@ -1,0 +1,250 @@
+"""Binary buddy allocator with dual zero / non-zero free lists.
+
+This mirrors Linux's physical page allocator at the granularity the paper
+cares about (orders 0..``MAX_ORDER``, huge pages at order 9) and adds the
+one structural change HawkEye §3.1 makes: every free list is split in two,
+
+* a **zero list** of blocks whose every base frame holds all-zero content
+  (pre-zeroed and ready to map without synchronous clearing), and
+* a **non-zero list** of blocks with stale content.
+
+Anonymous faults prefer the zero list; copy-on-write and file-backed
+allocations prefer the non-zero list so pre-zeroed frames are not wasted
+on pages that will be overwritten immediately.  The asynchronous
+pre-zeroing thread (``repro.core.prezero``) drains the non-zero lists,
+zero-fills blocks and moves them across.
+
+A block's zero-ness is derived from the frame table's content descriptors,
+so splitting and coalescing keep the two lists exactly consistent with
+page content — merging a zero half with a dirty half yields a non-zero
+block, exactly as real memory would behave.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import AllocationError
+from repro.mem.frames import NO_OWNER, FrameTable
+from repro.units import MAX_ORDER
+
+
+class BuddyAllocator:
+    """Buddy allocator over the frames of a :class:`FrameTable`."""
+
+    def __init__(self, frames: FrameTable, max_order: int = MAX_ORDER):
+        self.frames = frames
+        self.max_order = max_order
+        # Free lists are dicts used as ordered sets: O(1) membership,
+        # O(1) removal by key, and O(1) amortised pop via popitem()
+        # (plain sets degrade to O(n) scans under churn).
+        self._zero: list[dict[int, None]] = [{} for _ in range(max_order + 1)]
+        self._nonzero: list[dict[int, None]] = [{} for _ in range(max_order + 1)]
+        #: order of every free block, keyed by its start frame.
+        self._block_order: dict[int, int] = {}
+        self.free_pages = 0
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        """Carve the whole frame range into maximal aligned free blocks."""
+        start, end = 0, self.frames.num_frames
+        while start < end:
+            order = self.max_order
+            while order > 0 and (start % (1 << order) != 0 or start + (1 << order) > end):
+                order -= 1
+            self._insert(start, order)
+            start += 1 << order
+
+    # ------------------------------------------------------------------ #
+    # free-list plumbing                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _block_is_zero(self, start: int, order: int) -> bool:
+        if order == 0:  # scalar fast path: splits/frees hit this constantly
+            return self.frames.first_nonzero[start] < 0
+        return bool(self.frames.zero_mask(start, 1 << order).all())
+
+    def _insert(self, start: int, order: int) -> None:
+        lists = self._zero if self._block_is_zero(start, order) else self._nonzero
+        lists[order][start] = None
+        self._block_order[start] = order
+        self.free_pages += 1 << order
+
+    def _remove(self, start: int, order: int) -> None:
+        self._zero[order].pop(start, None)
+        self._nonzero[order].pop(start, None)
+        del self._block_order[start]
+        self.free_pages -= 1 << order
+
+    def _pop_block(self, order: int, zeroed: bool) -> tuple[int, bool] | None:
+        """Pop one free block of exactly ``order`` from the given list."""
+        lists = self._zero if zeroed else self._nonzero
+        if lists[order]:
+            start, _ = lists[order].popitem()
+            del self._block_order[start]
+            self.free_pages -= 1 << order
+            return start, zeroed
+        return None
+
+    # ------------------------------------------------------------------ #
+    # allocation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def try_alloc(
+        self, order: int = 0, prefer_zero: bool = True, owner: int = NO_OWNER
+    ) -> tuple[int, bool] | None:
+        """Allocate a ``2**order``-page block, or None when none exists.
+
+        Returns ``(start_frame, zeroed)`` where ``zeroed`` says whether the
+        block came off a zero list (no synchronous clearing needed).
+        """
+        if not 0 <= order <= self.max_order:
+            raise AllocationError(f"order {order} outside [0, {self.max_order}]")
+        # Two passes: honour the zero-ness preference across *all* orders
+        # first (an anonymous fault would rather split a large pre-zeroed
+        # block than take a small dirty one, and vice versa for COW), then
+        # fall back to the other lists.
+        for want_zeroed in (prefer_zero, not prefer_zero):
+            for have in range(order, self.max_order + 1):
+                popped = self._pop_block(have, want_zeroed)
+                if popped is None:
+                    continue
+                start, _ = popped
+                # Split excess halves back onto the free lists; each
+                # half's zero-ness is recomputed from content so the
+                # lists stay exact.
+                while have > order:
+                    have -= 1
+                    self._insert(start + (1 << have), have)
+                zeroed = self._block_is_zero(start, order)
+                self.frames.mark_allocated(start, 1 << order, owner)
+                return start, zeroed
+        return None
+
+    def alloc(self, order: int = 0, prefer_zero: bool = True, owner: int = NO_OWNER) -> tuple[int, bool]:
+        """Like :meth:`try_alloc` but raises :class:`AllocationError` on failure."""
+        got = self.try_alloc(order, prefer_zero, owner)
+        if got is None:
+            raise AllocationError(f"no free block of order {order}")
+        return got
+
+    # ------------------------------------------------------------------ #
+    # freeing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def free(self, start: int, order: int = 0) -> None:
+        """Return an allocated block and coalesce with free buddies."""
+        count = 1 << order
+        if not self.frames.allocated[start:start + count].all():
+            raise AllocationError(f"double free of block {start} order {order}")
+        self.frames.mark_free(start, count)
+        self.insert_free_block(start, order)
+
+    def insert_free_block(self, start: int, order: int) -> None:
+        """Insert an (already frame-table-free) block, coalescing buddies."""
+        while order < self.max_order:
+            buddy = start ^ (1 << order)
+            if self._block_order.get(buddy) != order:
+                break
+            self._remove(buddy, order)
+            start = min(start, buddy)
+            order += 1
+        self._insert(start, order)
+
+    def carve_range(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """Temporarily remove every free block lying fully inside [lo, hi).
+
+        Used by compaction to keep destination allocations out of the
+        chunk being emptied.  Blocks are power-of-two aligned, so any
+        free block overlapping a *partially allocated* chunk lies fully
+        inside it.  Hand the blocks back with :meth:`insert_free_block`.
+        """
+        carved: list[tuple[int, int]] = []
+        s = lo
+        while s < hi:
+            order = self._block_order.get(s)
+            if order is not None and s + (1 << order) <= hi:
+                self._remove(s, order)
+                carved.append((s, order))
+                s += 1 << order
+            else:
+                s += 1
+        return carved
+
+    def free_range(self, start: int, count: int) -> None:
+        """Free an arbitrary page range, decomposed into maximal buddy blocks."""
+        end = start + count
+        while start < end:
+            order = 0
+            while (
+                order < self.max_order
+                and start % (1 << (order + 1)) == 0
+                and start + (1 << (order + 1)) <= end
+            ):
+                order += 1
+            self.free(start, order)
+            start += 1 << order
+
+    # ------------------------------------------------------------------ #
+    # pre-zeroing support                                                #
+    # ------------------------------------------------------------------ #
+
+    def pop_nonzero_block(self, max_order: int | None = None) -> tuple[int, int] | None:
+        """Remove the largest dirty free block (for the pre-zero thread).
+
+        Returns ``(start, order)``; the caller zero-fills the frames and
+        hands the block back via :meth:`reinsert_zeroed`.
+        """
+        top = self.max_order if max_order is None else max_order
+        for order in range(top, -1, -1):
+            if self._nonzero[order]:
+                start, _ = self._nonzero[order].popitem()
+                del self._block_order[start]
+                self.free_pages -= 1 << order
+                return start, order
+        return None
+
+    def reinsert_zeroed(self, start: int, order: int) -> None:
+        """Put back a block whose frames were just zero-filled."""
+        self.frames.zero_fill(start, 1 << order)
+        self._insert(start, order)
+
+    def reinsert_dirty(self, start: int, order: int) -> None:
+        """Put back a popped block untouched (pre-zero budget ran out)."""
+        self._insert(start, order)
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_pages(self) -> int:
+        return self.frames.num_frames
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.total_pages - self.free_pages
+
+    def free_zeroed_pages(self) -> int:
+        """Pages sitting on zero lists, mappable without synchronous clearing."""
+        return sum(len(blocks) << order for order, blocks in enumerate(self._zero))
+
+    def free_block_counts(self) -> list[int]:
+        """Number of free blocks per order (zero + non-zero lists)."""
+        return [
+            len(self._zero[order]) + len(self._nonzero[order])
+            for order in range(self.max_order + 1)
+        ]
+
+    def free_blocks_at_least(self, order: int) -> int:
+        """Free blocks that can satisfy an order-``order`` allocation."""
+        counts = self.free_block_counts()
+        return sum(counts[order:])
+
+    def iter_free_blocks(self) -> Iterator[tuple[int, int, bool]]:
+        """Yield ``(start, order, zeroed)`` for every free block."""
+        for order in range(self.max_order + 1):
+            for start in self._zero[order]:
+                yield start, order, True
+            for start in self._nonzero[order]:
+                yield start, order, False

@@ -1,0 +1,98 @@
+"""Fragmentation metrics and a controlled memory fragmenter.
+
+``fmfi`` is the Free Memory Fragmentation Index Ingens consults (after
+Gorman & Whitcroft's *unusable free space index*): the fraction of free
+memory that cannot be used to satisfy an allocation of the given order.
+0.0 means every free page sits in a sufficiently large block; 1.0 means
+no block of the requested order exists.  Ingens switches from aggressive
+to conservative huge-page promotion when FMFI crosses 0.5 (paper §2.1).
+
+``Fragmenter`` reproduces the paper's experimental setup of fragmenting
+memory "by reading several files in memory" before launching workloads
+(§4, Figure 5 setup): it fills free memory with single-frame file-cache
+pages and releases a random subset, leaving the free space shattered into
+low-order blocks.  The retained pages behave like page cache: they are
+*reclaimable* one page at a time when the kernel runs out of memory, but
+they keep physical contiguity broken until compaction migrates around
+them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mem.buddy import BuddyAllocator
+
+#: Owner id used for fragmenter (file-cache) frames.
+FILE_CACHE_OWNER = -2
+
+
+def fmfi(buddy: BuddyAllocator, order: int = 9) -> float:
+    """Fraction of free memory unusable for an order-``order`` allocation."""
+    free = buddy.free_pages
+    if free == 0:
+        return 1.0
+    counts = buddy.free_block_counts()
+    usable = sum((1 << o) * n for o, n in enumerate(counts) if o >= order)
+    return (free - usable) / free
+
+
+class Fragmenter:
+    """Deliberately fragments physical memory with reclaimable file pages."""
+
+    def __init__(self, buddy: BuddyAllocator, seed: int = 7):
+        self.buddy = buddy
+        self._rng = random.Random(seed)
+        self._cache_pages: set[int] = set()
+
+    @property
+    def cache_pages(self) -> int:
+        """File-cache frames currently held (reclaimable)."""
+        return len(self._cache_pages)
+
+    def migrate_page(self, old: int, new: int) -> bool:
+        """Compaction support: clean page-cache pages are movable."""
+        if old not in self._cache_pages:
+            return False
+        self._cache_pages.discard(old)
+        self._cache_pages.add(new)
+        return True
+
+    def fragment(self, keep_fraction: float = 0.1, target_fmfi: float | None = None) -> float:
+        """Fill free memory with file pages, then evict all but ``keep_fraction``.
+
+        Returns the resulting order-9 FMFI.  ``target_fmfi`` stops early
+        once the index is reached (useful for partially fragmented setups).
+        """
+        taken: list[int] = []
+        while True:
+            got = self.buddy.try_alloc(order=0, prefer_zero=False, owner=FILE_CACHE_OWNER)
+            if got is None:
+                break
+            taken.append(got[0])
+        self._rng.shuffle(taken)
+        keep = int(len(taken) * keep_fraction)
+        kept, to_free = taken[:keep], taken[keep:]
+        self._cache_pages.update(kept)
+        for i, frame in enumerate(to_free):
+            self.buddy.free(frame, 0)
+            if target_fmfi is not None and fmfi(self.buddy) <= target_fmfi:
+                self._cache_pages.update(to_free[i + 1:])
+                return fmfi(self.buddy)
+        return fmfi(self.buddy)
+
+    def reclaim(self, npages: int) -> int:
+        """Evict up to ``npages`` file-cache pages (memory-pressure path).
+
+        Clean page-cache pages are the kernel's cheapest reclaim target;
+        the simulator evicts them before declaring out-of-memory.
+        """
+        evicted = 0
+        while self._cache_pages and evicted < npages:
+            self.buddy.free(self._cache_pages.pop(), 0)
+            evicted += 1
+        return evicted
+
+    def release_all(self) -> int:
+        """Drop the entire simulated file cache."""
+        return self.reclaim(len(self._cache_pages))

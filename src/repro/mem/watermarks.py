@@ -1,0 +1,74 @@
+"""Memory-pressure watermarks.
+
+HawkEye's bloat-recovery thread (§3.2) is gated by two watermarks on the
+amount of allocated memory: it activates when allocation exceeds the
+*high* watermark (85 % in the paper's prototype) and keeps running until
+allocation falls below the *low* watermark (70 %).  The hysteresis avoids
+flapping when utilisation hovers around a single threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Watermarks:
+    """High/low allocated-fraction watermarks with hysteresis."""
+
+    high: float = 0.85
+    low: float = 0.70
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low < self.high <= 1.0:
+            raise ConfigError(f"watermarks need 0 < low < high <= 1, got {self.low}/{self.high}")
+        self._active = False
+
+    def update(self, allocated_fraction: float) -> bool:
+        """Feed the current allocated fraction; returns whether recovery runs."""
+        if allocated_fraction >= self.high:
+            self._active = True
+        elif allocated_fraction < self.low:
+            self._active = False
+        return self._active
+
+    @property
+    def active(self) -> bool:
+        """True while the system is between watermarks on the way down."""
+        return self._active
+
+
+class DynamicWatermarks(Watermarks):
+    """Volatility-adaptive watermarks (paper §3.5, after Guo et al.).
+
+    Static thresholds risk thrash when memory pressure fluctuates around
+    them.  This variant tracks recent allocated-fraction samples and
+    widens the high/low gap in proportion to their volatility, so bursty
+    systems start recovery earlier and keep recovering longer, while
+    steady systems converge to the static 85/70 behaviour.
+    """
+
+    WINDOW = 32
+    #: how many standard deviations of headroom to add below `high`.
+    SENSITIVITY = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._base_high = self.high
+        self._base_low = self.low
+        self._history: list[float] = []
+
+    def update(self, allocated_fraction: float) -> bool:
+        """Feed a sample; adapt thresholds to volatility, then gate as usual."""
+        self._history.append(allocated_fraction)
+        if len(self._history) > self.WINDOW:
+            del self._history[0]
+        if len(self._history) >= 4:
+            mean = sum(self._history) / len(self._history)
+            var = sum((x - mean) ** 2 for x in self._history) / len(self._history)
+            margin = min(0.10, self.SENSITIVITY * var ** 0.5)
+            self.high = max(self._base_low + 0.02, self._base_high - margin)
+            self.low = max(0.01, self._base_low - margin)
+        return super().update(allocated_fraction)

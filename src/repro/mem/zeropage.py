@@ -1,0 +1,44 @@
+"""Canonical zero page and copy-on-write sharing bookkeeping.
+
+HawkEye's bloat recovery (§3.2) de-duplicates zero-filled base pages
+inside under-utilised huge pages by remapping them, copy-on-write, to a
+single canonical zero frame — the same mechanism Linux uses for the
+read-only zero page.  This registry tracks how many virtual mappings
+currently share the canonical frame and counts the extra COW faults the
+paper notes can occur when an application's *in-use* zero page was
+deduplicated and is later written.
+"""
+
+from __future__ import annotations
+
+
+class ZeroPageRegistry:
+    """Reference accounting for the canonical zero frame."""
+
+    def __init__(self, zero_frame: int):
+        self.zero_frame = zero_frame
+        self.mappings = 0
+        #: total de-duplications performed (frames reclaimed).
+        self.dedups = 0
+        #: COW faults taken on the zero page (writes after dedup).
+        self.cow_faults = 0
+
+    def share(self, count: int = 1) -> None:
+        """Record ``count`` new virtual mappings of the canonical frame."""
+        self.mappings += count
+        self.dedups += count
+
+    def unshare(self, count: int = 1) -> None:
+        """Record ``count`` mappings leaving the canonical frame."""
+        if count > self.mappings:
+            raise ValueError(f"unshare({count}) with only {self.mappings} mappings")
+        self.mappings -= count
+
+    def cow_break(self) -> None:
+        """A write hit a shared zero mapping: one COW fault, one copy."""
+        self.unshare()
+        self.cow_faults += 1
+
+    def pages_saved(self) -> int:
+        """Physical frames currently saved by zero-page sharing."""
+        return self.mappings

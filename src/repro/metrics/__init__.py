@@ -1,0 +1,6 @@
+"""Reporting helpers: time series, text tables, experiment runners."""
+
+from repro.metrics.series import SeriesRecorder, TimeSeries
+from repro.metrics.tables import format_table
+
+__all__ = ["SeriesRecorder", "TimeSeries", "format_table"]

@@ -1,0 +1,136 @@
+"""Structured kernel event tracing.
+
+An :class:`EventLog` captures discrete policy decisions — promotions,
+demotions, bloat-recovery demotions, OOM kills, compaction runs — with
+timestamps, so experiments can reconstruct *why* a run behaved as it did
+(the per-process promotion timelines of Figures 6 and 7 are queries over
+this log).
+
+The log hooks the kernel non-invasively by wrapping the relevant methods;
+attach with :meth:`EventLog.attach`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+class EventKind(enum.Enum):
+    """Kinds of traced kernel events."""
+    PROMOTION = "promotion"
+    DEMOTION = "demotion"
+    FAULT_HUGE = "fault_huge"
+    MADVISE_FREE = "madvise_free"
+    OOM = "oom"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One traced kernel event."""
+
+    t_seconds: float
+    kind: EventKind
+    process: str
+    hvpn: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" region={self.hvpn}" if self.hvpn is not None else ""
+        return f"[{self.t_seconds:9.1f}s] {self.kind.value:<12} {self.process}{where} {self.detail}"
+
+
+@dataclass
+class EventLog:
+    """Chronological record of kernel policy decisions."""
+
+    events: list[Event] = field(default_factory=list)
+    capacity: int = 100_000
+
+    def record(self, kernel: "Kernel", kind: EventKind, process: str,
+               hvpn: int | None = None, detail: str = "") -> None:
+        """Append one event (no-op once the capacity bound is reached)."""
+        if len(self.events) >= self.capacity:
+            return  # bounded: tracing must never OOM the tracer
+        self.events.append(
+            Event(kernel.now_us / SEC, kind, process, hvpn, detail)
+        )
+
+    # ------------------------------------------------------------------ #
+    # attachment                                                          #
+    # ------------------------------------------------------------------ #
+
+    def attach(self, kernel: "Kernel") -> "EventLog":
+        """Wrap the kernel's decision points to feed this log."""
+        log = self
+
+        original_promote = kernel.promote_region
+
+        def promote(proc, hvpn):
+            result = original_promote(proc, hvpn)
+            if result is not None:
+                log.record(kernel, EventKind.PROMOTION, proc.name, hvpn,
+                           f"cost={result:.0f}us")
+            return result
+
+        original_demote = kernel.demote_region
+
+        def demote(proc, hvpn):
+            result = original_demote(proc, hvpn)
+            log.record(kernel, EventKind.DEMOTION, proc.name, hvpn)
+            return result
+
+        original_madvise = kernel.madvise_free
+
+        def madvise(proc, vpn, npages):
+            log.record(kernel, EventKind.MADVISE_FREE, proc.name, vpn >> 9,
+                       f"pages={npages}")
+            return original_madvise(proc, vpn, npages)
+
+        kernel.promote_region = promote
+        kernel.demote_region = demote
+        kernel.madvise_free = madvise
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def for_process(self, process: str) -> list[Event]:
+        """All events attributed to one process name."""
+        return [e for e in self.events if e.process == process]
+
+    def promotions_by_process(self) -> dict[str, int]:
+        """Promotion counts keyed by process name (Figure 7's fairness view)."""
+        counts: dict[str, int] = {}
+        for e in self.of_kind(EventKind.PROMOTION):
+            counts[e.process] = counts.get(e.process, 0) + 1
+        return counts
+
+    def between(self, t0: float, t1: float) -> list[Event]:
+        """Events with ``t0 <= t_seconds < t1``."""
+        return [e for e in self.events if t0 <= e.t_seconds < t1]
+
+    def timeline(self, kind: EventKind, bucket_seconds: float = 30.0) -> dict[float, int]:
+        """Histogram of events per time bucket (for figure-style series)."""
+        out: dict[float, int] = {}
+        for e in self.of_kind(kind):
+            bucket = (e.t_seconds // bucket_seconds) * bucket_seconds
+            out[bucket] = out.get(bucket, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[Event]:
+        return iter(self.events)

@@ -1,0 +1,82 @@
+"""Export recorded metrics for external analysis.
+
+Time series, event logs and /proc snapshots serialise to CSV and JSON so
+figures can be plotted outside the simulator (the environment here ships
+no plotting stack).  The formats are deliberately boring: CSV with a
+header row; JSON as plain dict/list structures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.events import EventLog
+    from repro.metrics.series import SeriesRecorder, TimeSeries
+
+
+def series_to_csv(recorder: "SeriesRecorder") -> str:
+    """All of a recorder's series as one CSV (time + one column each).
+
+    Series are sampled on the same epochs, so their time axes align;
+    ragged series (probes added mid-run) are padded with blanks.
+    """
+    names = list(recorder.series)
+    if not names:
+        return "t_seconds\n"
+    longest = max(recorder.series.values(), key=len)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["t_seconds"] + names)
+    for i, t in enumerate(longest.times):
+        row = [t]
+        for name in names:
+            series = recorder.series[name]
+            row.append(series.values[i] if i < len(series) else "")
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def series_to_dict(series: "TimeSeries") -> dict:
+    """One series as a plain JSON-able dict."""
+    return {"name": series.name, "times": list(series.times),
+            "values": list(series.values)}
+
+
+def events_to_json(log: "EventLog") -> str:
+    """Event log as a JSON array of records."""
+    return json.dumps([
+        {
+            "t_seconds": e.t_seconds,
+            "kind": e.kind.value,
+            "process": e.process,
+            "hvpn": e.hvpn,
+            "detail": e.detail,
+        }
+        for e in log
+    ], indent=2)
+
+
+def events_to_csv(log: "EventLog") -> str:
+    """Event log as CSV with a header row."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["t_seconds", "kind", "process", "hvpn", "detail"])
+    for e in log:
+        writer.writerow([e.t_seconds, e.kind.value, e.process,
+                         "" if e.hvpn is None else e.hvpn, e.detail])
+    return out.getvalue()
+
+
+def snapshot_to_json(kernel) -> str:
+    """meminfo + vmstat as one JSON document."""
+    from repro.kernel import procfs
+
+    return json.dumps({
+        "t_seconds": kernel.now_us / 1e6,
+        "meminfo_kb": procfs.meminfo(kernel),
+        "vmstat": procfs.vmstat(kernel),
+    }, indent=2)

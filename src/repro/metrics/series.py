@@ -1,0 +1,82 @@
+"""Per-epoch time-series recording.
+
+Experiments attach a :class:`SeriesRecorder` to a kernel; it samples a
+set of named probes at the end of every epoch, producing the time series
+behind the paper's figures (RSS over time for Figure 1, MMU overhead and
+promotions over time for Figures 6 and 7, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class TimeSeries:
+    """One named series of (time_seconds, value) points."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, t_seconds: float, value: float) -> None:
+        """Record one (time, value) sample."""
+        self.times.append(t_seconds)
+        self.values.append(value)
+
+    def last(self) -> float:
+        """Most recent value (0.0 when empty)."""
+        return self.values[-1] if self.values else 0.0
+
+    def max(self) -> float:
+        """Largest recorded value (0.0 when empty)."""
+        return max(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        """Smallest recorded value (0.0 when empty)."""
+        return min(self.values) if self.values else 0.0
+
+    def at(self, t_seconds: float) -> float:
+        """Value at the latest sample not after ``t_seconds``."""
+        best = 0.0
+        for t, v in zip(self.times, self.values):
+            if t > t_seconds:
+                break
+            best = v
+        return best
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class SeriesRecorder:
+    """Samples named probes on a kernel once per epoch."""
+
+    def __init__(self, kernel: "Kernel", every_epochs: int = 1):
+        self.kernel = kernel
+        self.every_epochs = every_epochs
+        self.series: dict[str, TimeSeries] = {}
+        self._probes: dict[str, Callable[["Kernel"], float]] = {}
+        kernel.epoch_hooks.append(self._on_epoch)
+
+    def probe(self, name: str, fn: Callable[["Kernel"], float]) -> "SeriesRecorder":
+        """Register a probe; chainable."""
+        self._probes[name] = fn
+        self.series[name] = TimeSeries(name)
+        return self
+
+    def _on_epoch(self, kernel: "Kernel") -> None:
+        if kernel.stats.epochs % self.every_epochs:
+            return
+        t = kernel.now_us / SEC
+        for name, fn in self._probes.items():
+            self.series[name].append(t, float(fn(kernel)))
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self.series[name]

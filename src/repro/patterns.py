@@ -1,0 +1,21 @@
+"""Memory access patterns.
+
+The paper's central observation about measurement (§2.4) is that MMU
+overhead depends on *how* memory is accessed, not just how much:
+sequential patterns let the prefetcher hide TLB-miss latency and reuse
+each translation many times, while random patterns thrash the TLB.  Every
+workload region in this simulator declares one of these patterns and the
+hardware model prices it accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Pattern(enum.Enum):
+    """Qualitative access pattern of a memory region."""
+
+    RANDOM = "random"
+    STRIDED = "strided"
+    SEQUENTIAL = "sequential"

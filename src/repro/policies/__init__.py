@@ -1,0 +1,18 @@
+"""Huge-page management policies: the paper's baselines and their interface.
+
+HawkEye itself lives in :mod:`repro.core`; it implements the same
+:class:`HugePagePolicy` interface so experiments swap policies freely.
+"""
+
+from repro.policies.base import HugePagePolicy
+from repro.policies.freebsd import FreeBSDPolicy
+from repro.policies.ingens import IngensPolicy
+from repro.policies.linux import Linux4KPolicy, LinuxTHPPolicy
+
+__all__ = [
+    "HugePagePolicy",
+    "Linux4KPolicy",
+    "LinuxTHPPolicy",
+    "FreeBSDPolicy",
+    "IngensPolicy",
+]

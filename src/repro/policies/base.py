@@ -1,0 +1,92 @@
+"""The huge-page policy interface.
+
+A policy plugs into the kernel at exactly the points the paper's systems
+differ on:
+
+* **fault time** — what granularity to map (Linux THP: huge when possible;
+  FreeBSD/Ingens: base only) and whether a specific reserved frame must be
+  used (FreeBSD reservations);
+* **every epoch** — background work: khugepaged-style promotion scans,
+  Ingens's adaptive promotion, HawkEye's pre-zeroing and bloat recovery;
+* **access-bit samples** — bookkeeping updates (Ingens idleness, HawkEye's
+  ``access_map``);
+* **memory pressure** — a last chance to free memory before the kernel
+  declares OOM (HawkEye's bloat recovery hooks in here; the baselines do
+  nothing, which is why they OOM in the paper's Figure 1 experiment).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.vm.process import Process
+from repro.vm.vma import VMA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+class HugePagePolicy(abc.ABC):
+    """Base class for all huge-page management policies."""
+
+    name = "abstract"
+
+    #: When False the fault path zeroes anonymous pages synchronously even
+    #: if the frame content is already zero — real Linux does not track
+    #: frame zero-ness, so every baseline pays the full zeroing cost.
+    #: HawkEye sets this True and skips zeroing for pre-zeroed frames.
+    trusts_zero_lists = False
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------ #
+    # fault-time hooks                                                    #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def fault_size(self, proc: Process, vma: VMA, vpn: int) -> str:
+        """``'huge'`` or ``'base'``: preferred mapping granularity."""
+
+    def reserved_frame(self, proc: Process, vma: VMA, vpn: int) -> int | None:
+        """Specific frame to map (FreeBSD reservations); None = buddy alloc."""
+        return None
+
+    def post_fault(self, proc: Process, vma: VMA, vpn: int, huge: bool) -> None:
+        """Bookkeeping after a successful fault."""
+
+    # ------------------------------------------------------------------ #
+    # periodic hooks                                                      #
+    # ------------------------------------------------------------------ #
+
+    def on_epoch(self) -> None:
+        """Run one epoch of background work (promotion threads etc.)."""
+
+    def on_sample(self, proc: Process) -> None:
+        """Access bits for ``proc`` were just sampled; update bookkeeping."""
+
+    # ------------------------------------------------------------------ #
+    # memory management hooks                                             #
+    # ------------------------------------------------------------------ #
+
+    def on_memory_pressure(self, pages_needed: int) -> int:
+        """Free memory under pressure; returns pages freed (default: none)."""
+        return 0
+
+    def on_madvise_free(self, proc: Process, vpn: int, npages: int) -> None:
+        """The process released ``[vpn, vpn+npages)`` back to the kernel."""
+
+    def on_process_exit(self, proc: Process) -> None:
+        """Drop any per-process bookkeeping."""
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def estimated_overhead(self, proc: Process) -> float:
+        """The policy's belief about ``proc``'s MMU overhead (0..1)."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"

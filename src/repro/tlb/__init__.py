@@ -1,0 +1,17 @@
+"""Analytic hardware model: TLB hierarchy, page-walk costs and PMU."""
+
+from repro.tlb.mmu_model import MMUEpoch, MMUModel, RegionLoad
+from repro.tlb.perf import PMUCounters
+from repro.tlb.tlb import TLBConfig
+from repro.tlb.walk import nested_walk_cycles, pattern_latency_factor, walk_cycles
+
+__all__ = [
+    "MMUEpoch",
+    "MMUModel",
+    "PMUCounters",
+    "RegionLoad",
+    "TLBConfig",
+    "nested_walk_cycles",
+    "pattern_latency_factor",
+    "walk_cycles",
+]

@@ -1,0 +1,68 @@
+"""Hardware performance-counter emulation (paper Table 4).
+
+HawkEye-PMU reads three counters to measure address-translation overhead:
+
+====  ==================================
+C1    ``DTLB_LOAD_MISSES_WALK_DURATION``
+C2    ``DTLB_STORE_MISSES_WALK_DURATION``
+C3    ``CPU_CLK_UNHALTED``
+====  ==================================
+
+with ``MMU overhead = (C1 + C2) * 100 / C3``.  The emulated counters are
+fed by the MMU model each epoch; walk cycles are split between the load
+and store counters with the canonical ~2:1 load:store ratio so both
+counters carry realistic values.  ``read_overhead`` applies exactly the
+Table 4 formula, making the measurement path of HawkEye-PMU structurally
+identical to the real system's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fraction of data accesses that are loads (typical integer-code mix).
+LOAD_FRACTION = 2.0 / 3.0
+
+
+@dataclass
+class PMUCounters:
+    """Per-process emulated counter state."""
+
+    dtlb_load_walk_duration: float = 0.0
+    dtlb_store_walk_duration: float = 0.0
+    cpu_clk_unhalted: float = 0.0
+
+    #: values at the last ``sample()`` call, for interval measurements.
+    _last_c1: float = 0.0
+    _last_c2: float = 0.0
+    _last_c3: float = 0.0
+
+    def record(self, walk_cycles: float, total_cycles: float) -> None:
+        """Accumulate one epoch's walker activity and elapsed cycles."""
+        self.dtlb_load_walk_duration += walk_cycles * LOAD_FRACTION
+        self.dtlb_store_walk_duration += walk_cycles * (1.0 - LOAD_FRACTION)
+        self.cpu_clk_unhalted += total_cycles
+
+    def read_overhead(self) -> float:
+        """Lifetime MMU overhead fraction per the Table 4 methodology."""
+        if self.cpu_clk_unhalted <= 0:
+            return 0.0
+        c1 = self.dtlb_load_walk_duration
+        c2 = self.dtlb_store_walk_duration
+        return (c1 + c2) / self.cpu_clk_unhalted
+
+    def sample(self) -> float:
+        """Interval MMU overhead since the previous ``sample()`` call.
+
+        This is what HawkEye-PMU consults each decision period: overheads
+        of the recent past, not of the whole process lifetime.
+        """
+        dc1 = self.dtlb_load_walk_duration - self._last_c1
+        dc2 = self.dtlb_store_walk_duration - self._last_c2
+        dc3 = self.cpu_clk_unhalted - self._last_c3
+        self._last_c1 = self.dtlb_load_walk_duration
+        self._last_c2 = self.dtlb_store_walk_duration
+        self._last_c3 = self.cpu_clk_unhalted
+        if dc3 <= 0:
+            return 0.0
+        return (dc1 + dc2) / dc3

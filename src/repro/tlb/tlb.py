@@ -1,0 +1,53 @@
+"""TLB hierarchy configuration and the capacity miss model.
+
+Models the experimental platform of the paper (§4, Intel Haswell-EP
+E5-2690 v3): a split L1 DTLB with 64 entries for 4 KiB pages and 8 entries
+for 2 MiB pages, and a unified 1024-entry L2 TLB shared by both sizes.
+
+The miss model is analytic rather than trace-driven: given the number of
+distinct translations a process needs per sampling interval (its *demand*)
+for each page-size class, the L2 is split between classes in proportion to
+demand (competitive sharing) and the fraction of accesses that miss is the
+classic capacity term ``max(0, 1 - capacity / demand)`` — exact for
+uniform random reuse over the demand set, and the pattern term of
+:mod:`repro.tlb.mmu_model` corrects it for sequential/strided access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Entry counts of the simulated TLB hierarchy."""
+
+    l1_base: int = 64
+    l1_huge: int = 8
+    l2_shared: int = 1024
+
+    def capacities(self, demand_base: float, demand_huge: float) -> tuple[float, float]:
+        """Effective per-class capacities under competitive L2 sharing."""
+        total = demand_base + demand_huge
+        share = demand_base / total if total > 0 else 0.5
+        return (self.l1_base + self.l2_shared * share,
+                self.l1_huge + self.l2_shared * (1.0 - share))
+
+    def miss_fractions(self, demand_base: float, demand_huge: float) -> tuple[float, float]:
+        """Capacity miss fraction per class for the given demands."""
+        cap_base, cap_huge = self.capacities(demand_base, demand_huge)
+        miss_base = max(0.0, 1.0 - cap_base / demand_base) if demand_base > 0 else 0.0
+        miss_huge = max(0.0, 1.0 - cap_huge / demand_huge) if demand_huge > 0 else 0.0
+        return miss_base, miss_huge
+
+    def base_reach_bytes(self) -> int:
+        """Bytes covered when every entry holds a 4 KiB translation."""
+        from repro.units import BASE_PAGE_SIZE
+
+        return (self.l1_base + self.l2_shared) * BASE_PAGE_SIZE
+
+    def huge_reach_bytes(self) -> int:
+        """Bytes covered when every entry holds a 2 MiB translation."""
+        from repro.units import HUGE_PAGE_SIZE
+
+        return (self.l1_huge + self.l2_shared) * HUGE_PAGE_SIZE

@@ -1,0 +1,68 @@
+"""Size, time and address-granularity constants shared across the simulator.
+
+The simulator works in *pages*: a base page is 4 KiB and a huge page is
+2 MiB (x86-64 PMD level), i.e. 512 base pages.  Physical frames and virtual
+page numbers are plain integers; byte quantities appear only at the API
+boundary (workload footprints, reported RSS) and in the page *content*
+model (offset of the first non-zero byte inside a 4 KiB page).
+
+Simulated time is kept in microseconds as a float.  One *epoch* of the
+kernel main loop corresponds to one second of simulated time; background
+kernel threads receive per-epoch work budgets which makes every
+"rate-limited" mechanism of the paper directly expressible.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+BASE_PAGE_SIZE = 4 * KB
+HUGE_PAGE_ORDER = 9
+PAGES_PER_HUGE = 1 << HUGE_PAGE_ORDER  # 512
+HUGE_PAGE_SIZE = BASE_PAGE_SIZE * PAGES_PER_HUGE  # 2 MiB
+
+#: Largest buddy order kept on the free lists (order 10 == 4 MiB blocks,
+#: one above the huge-page order, mirroring Linux's MAX_ORDER neighbourhood).
+MAX_ORDER = 10
+
+USEC = 1.0
+MSEC = 1000.0
+SEC = 1_000_000.0
+
+#: Simulated CPU frequency, cycles per microsecond (2.3 GHz Haswell-EP).
+CYCLES_PER_USEC = 2300.0
+
+
+def pages_of(nbytes: int) -> int:
+    """Number of base pages needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // BASE_PAGE_SIZE)
+
+
+def huge_pages_of(nbytes: int) -> int:
+    """Number of huge pages needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // HUGE_PAGE_SIZE)
+
+
+def huge_align_down(page: int) -> int:
+    """Round a base-page number down to its huge-page boundary."""
+    return page & ~(PAGES_PER_HUGE - 1)
+
+
+def huge_align_up(page: int) -> int:
+    """Round a base-page number up to the next huge-page boundary."""
+    return (page + PAGES_PER_HUGE - 1) & ~(PAGES_PER_HUGE - 1)
+
+
+def is_huge_aligned(page: int) -> bool:
+    """True when ``page`` sits on a huge-page boundary."""
+    return (page & (PAGES_PER_HUGE - 1)) == 0
+
+
+def bytes_human(nbytes: float) -> str:
+    """Render a byte count as a compact human-readable string."""
+    for unit, size in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(nbytes) >= size:
+            return f"{nbytes / size:.1f}{unit}"
+    return f"{nbytes:.0f}B"

@@ -1,0 +1,16 @@
+"""Virtualisation substrate: hypervisor, VMs, KSM and ballooning.
+
+Models the two-layer setups of the paper's §4: a host kernel whose
+processes are virtual machines, each VM being a full guest
+:class:`~repro.kernel.kernel.Kernel` whose physical frames are backed by
+a host VMA.  Nested page-walk costs blend guest page size with the host's
+mapping granularity of the backing region, reproducing the amplified MMU
+overheads of Figure 9; KSM plus guest pre-zeroing reproduces the
+ballooning-equivalent memory return channel of Figure 11.
+"""
+
+from repro.virt.balloon import BalloonDriver
+from repro.virt.hypervisor import Hypervisor, VirtualMachine
+from repro.virt.ksm import KSMThread
+
+__all__ = ["BalloonDriver", "Hypervisor", "KSMThread", "VirtualMachine"]

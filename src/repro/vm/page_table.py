@@ -1,0 +1,154 @@
+"""Per-process page tables with 4 KiB and 2 MiB mappings.
+
+The table keeps two maps: base PTEs keyed by virtual page number and huge
+PTEs keyed by huge-region number (``vpn >> 9``).  A virtual page is mapped
+by at most one of the two — promotion replaces 512 base PTEs with one huge
+PTE, demotion does the reverse.  Base PTEs can also be *shared-zero*
+mappings onto the canonical zero frame (copy-on-write), which is how
+HawkEye's bloat recovery returns memory without unmapping anything.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidAddressError
+from repro.units import PAGES_PER_HUGE, huge_align_down
+
+
+class BasePTE:
+    """A 4 KiB mapping: physical frame plus access metadata.
+
+    ``shared_zero`` marks a copy-on-write mapping of the canonical zero
+    frame (bloat recovery, §3.2); ``shared_cow`` marks a copy-on-write
+    mapping of a KSM-merged content frame (same-page merging).  Both are
+    broken by the fault path on write.
+    """
+
+    __slots__ = ("frame", "accessed", "dirty", "shared_zero", "shared_cow")
+
+    def __init__(self, frame: int, shared_zero: bool = False):
+        self.frame = frame
+        self.accessed = False
+        self.dirty = False
+        self.shared_zero = shared_zero
+        self.shared_cow = False
+
+    @property
+    def private(self) -> bool:
+        """True when this mapping exclusively owns its frame."""
+        return not (self.shared_zero or self.shared_cow)
+
+
+class HugePTE:
+    """A 2 MiB mapping: start frame of an order-9 physical block."""
+
+    __slots__ = ("frame", "accessed", "dirty")
+
+    def __init__(self, frame: int):
+        self.frame = frame
+        self.accessed = False
+        self.dirty = False
+
+
+class PageTable:
+    """Both-granularity page table for one process."""
+
+    def __init__(self) -> None:
+        self.base: dict[int, BasePTE] = {}
+        self.huge: dict[int, HugePTE] = {}
+        #: mappings currently shared onto the canonical zero frame.
+        self.shared_zero_count = 0
+
+    # ------------------------------------------------------------------ #
+    # mapping                                                            #
+    # ------------------------------------------------------------------ #
+
+    def map_base(self, vpn: int, frame: int, shared_zero: bool = False) -> BasePTE:
+        """Install a 4 KiB mapping (optionally onto the shared zero frame)."""
+        if vpn in self.base:
+            raise InvalidAddressError(f"vpn {vpn} already mapped")
+        if (vpn >> 9) in self.huge:
+            raise InvalidAddressError(f"vpn {vpn} inside huge mapping")
+        pte = BasePTE(frame, shared_zero)
+        self.base[vpn] = pte
+        if shared_zero:
+            self.shared_zero_count += 1
+        return pte
+
+    def map_huge(self, hvpn: int, frame: int) -> HugePTE:
+        """Install a 2 MiB mapping over an order-9 physical block."""
+        if hvpn in self.huge:
+            raise InvalidAddressError(f"huge region {hvpn} already mapped")
+        pte = HugePTE(frame)
+        self.huge[hvpn] = pte
+        return pte
+
+    def unmap_base(self, vpn: int) -> BasePTE:
+        """Remove and return a base PTE; raises if absent."""
+        pte = self.base.pop(vpn, None)
+        if pte is None:
+            raise InvalidAddressError(f"vpn {vpn} not base-mapped")
+        if pte.shared_zero:
+            self.shared_zero_count -= 1
+        return pte
+
+    def unmap_huge(self, hvpn: int) -> HugePTE:
+        """Remove and return a huge PTE; raises if absent."""
+        pte = self.huge.pop(hvpn, None)
+        if pte is None:
+            raise InvalidAddressError(f"huge region {hvpn} not mapped")
+        return pte
+
+    # ------------------------------------------------------------------ #
+    # promotion / demotion plumbing                                      #
+    # ------------------------------------------------------------------ #
+
+    def demote_huge(self, hvpn: int) -> list[tuple[int, BasePTE]]:
+        """Replace a huge PTE with 512 base PTEs onto the same frames.
+
+        Returns the new ``(vpn, pte)`` pairs; the physical block stays
+        allocated and contiguous — only the mapping granularity changes.
+        """
+        huge_pte = self.unmap_huge(hvpn)
+        vpn0 = hvpn << 9
+        created = []
+        for i in range(PAGES_PER_HUGE):
+            pte = BasePTE(huge_pte.frame + i)
+            pte.accessed = huge_pte.accessed
+            self.base[vpn0 + i] = pte
+            created.append((vpn0 + i, pte))
+        return created
+
+    def region_base_vpns(self, hvpn: int) -> list[int]:
+        """Base-mapped VPNs inside huge region ``hvpn``."""
+        vpn0 = hvpn << 9
+        return [vpn for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE) if vpn in self.base]
+
+    # ------------------------------------------------------------------ #
+    # lookup                                                             #
+    # ------------------------------------------------------------------ #
+
+    def translate(self, vpn: int) -> tuple[int, bool] | None:
+        """Physical frame for ``vpn`` and whether the mapping is huge."""
+        huge_pte = self.huge.get(vpn >> 9)
+        if huge_pte is not None:
+            return huge_pte.frame + (vpn - huge_align_down(vpn)), True
+        pte = self.base.get(vpn)
+        if pte is not None:
+            return pte.frame, False
+        return None
+
+    def is_mapped(self, vpn: int) -> bool:
+        """Whether the virtual page is mapped at either granularity."""
+        return vpn in self.base or (vpn >> 9) in self.huge
+
+    # ------------------------------------------------------------------ #
+    # accounting                                                         #
+    # ------------------------------------------------------------------ #
+
+    def resident_pages(self) -> int:
+        """RSS in base pages, excluding shared-zero (deduplicated) mappings."""
+        return len(self.base) - self.shared_zero_count + len(self.huge) * PAGES_PER_HUGE
+
+    def huge_mapped_pages(self) -> int:
+        """Base-page count covered by huge mappings."""
+        return len(self.huge) * PAGES_PER_HUGE

@@ -1,0 +1,116 @@
+"""Processes: address space, per-region metadata and time accounting.
+
+``RegionInfo`` is the per-huge-region record every policy in the paper
+keys off: FreeBSD's ``population_map`` (residency), Ingens's
+``access_bitvector`` (utilisation + idleness) and HawkEye's ``access_map``
+(EMA access-coverage) are all views over this structure (§3.3).
+
+Time accounting follows the execution model of the evaluation: a process
+retires its workload's *useful work* at a rate discounted by page-fault
+time and by the MMU overhead the hardware model reports for its current
+mappings, so execution-time differences between policies emerge from
+promotion decisions exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.vm.page_table import PageTable
+from repro.vm.vma import VMAList
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.base import AccessProfile
+
+
+@dataclass
+class RegionInfo:
+    """Metadata for one huge-page-sized virtual region of a process."""
+
+    hvpn: int
+    #: base pages faulted in (512 when huge-mapped).
+    resident: int = 0
+    is_huge: bool = False
+    #: exponential moving average of sampled access-coverage (0..512).
+    coverage_ema: float = 0.0
+    #: raw coverage from the most recent access-bit sample.
+    last_coverage: int = 0
+    #: Ingens idleness flag: no access observed in the last sample.  A
+    #: fresh region starts non-idle — it was just faulted, which *is* an
+    #: access; the 30 s sampler then keeps the flag current.
+    idle: bool = False
+    #: number of promotions this region has received (demote/re-promote).
+    promotions: int = 0
+    #: set when bloat recovery demoted this region; promotion engines skip
+    #: such regions while memory pressure persists (avoids thrash).
+    bloat_demoted: bool = False
+
+    def utilization(self) -> float:
+        """Fraction of the region's 512 base pages that are resident."""
+        from repro.units import PAGES_PER_HUGE
+
+        return self.resident / PAGES_PER_HUGE
+
+
+@dataclass
+class ProcessStats:
+    """Counters a single process accumulates over its lifetime."""
+
+    faults: int = 0
+    huge_faults: int = 0
+    cow_faults: int = 0
+    fault_time_us: float = 0.0
+    promotions: int = 0
+    demotions: int = 0
+    walk_cycles: float = 0.0
+    total_cycles: float = 0.0
+
+
+class Process:
+    """A simulated process: one address space plus execution state."""
+
+    _next_pid = 1
+
+    def __init__(self, name: str):
+        self.pid = Process._next_pid
+        Process._next_pid = self.pid + 1
+        self.name = name
+        self.page_table = PageTable()
+        self.vmas = VMAList()
+        self.regions: dict[int, RegionInfo] = {}
+        self.stats = ProcessStats()
+        #: opaque access profile installed by the running workload phase.
+        self.access_profile: Optional["AccessProfile"] = None
+        #: measured MMU overhead for the last epoch (fraction of cycles).
+        self.mmu_overhead: float = 0.0
+        #: useful work retired so far / wall-clock attributed, microseconds.
+        self.work_done_us: float = 0.0
+        self.run_time_us: float = 0.0
+        self.fault_time_epoch_us: float = 0.0
+        self.finished = False
+        #: creation order, used by FCFS policies (Linux khugepaged).
+        self.launch_index = self.pid
+
+    def region(self, hvpn: int) -> RegionInfo:
+        """Get or create the metadata record for huge region ``hvpn``."""
+        info = self.regions.get(hvpn)
+        if info is None:
+            info = RegionInfo(hvpn)
+            self.regions[hvpn] = info
+        return info
+
+    def rss_pages(self) -> int:
+        """Resident set size in base pages (excludes shared-zero mappings)."""
+        return self.page_table.resident_pages()
+
+    def huge_regions(self) -> list[RegionInfo]:
+        """Regions currently mapped huge."""
+        return [r for r in self.regions.values() if r.is_huge]
+
+    def candidate_regions(self) -> list[RegionInfo]:
+        """Regions not yet huge that have at least one resident page."""
+        return [r for r in self.regions.values() if not r.is_huge and r.resident > 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.pid} {self.name!r} rss={self.rss_pages()}p>"

@@ -1,0 +1,113 @@
+"""Virtual memory areas.
+
+A VMA is a contiguous range of virtual pages with one backing kind.  The
+kind matters to HawkEye §3.1: anonymous regions must be zero-filled on
+fault (and therefore benefit from the pre-zeroed free lists), while
+file-backed and copy-on-write regions are about to be overwritten with
+other content, so the fault path steers them to the *non-zero* lists to
+avoid wasting pre-zeroed frames.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidAddressError
+
+
+class VMAKind(enum.Enum):
+    """Backing type of a VMA: anonymous, file-backed or copy-on-write."""
+    ANON = "anon"
+    FILE = "file"
+    COW = "cow"
+
+
+class HugePageHint(enum.Enum):
+    """Per-VMA huge-page advice (madvise MADV_HUGEPAGE / MADV_NOHUGEPAGE).
+
+    The paper's related-work section points at compiler/application hints
+    through the madvise interface; policies honour them here: ``NEVER``
+    excludes a VMA from huge mappings and promotion entirely, ``ALWAYS``
+    marks it eligible even under policies that would otherwise defer
+    (e.g. it exempts the VMA from HawkEye's huge-page limits).
+    """
+
+    DEFAULT = "default"
+    ALWAYS = "always"      # MADV_HUGEPAGE
+    NEVER = "never"        # MADV_NOHUGEPAGE
+
+
+@dataclass
+class VMA:
+    """A contiguous virtual range ``[start, start + npages)`` of base pages."""
+
+    start: int
+    npages: int
+    name: str = "anon"
+    kind: VMAKind = VMAKind.ANON
+    hint: HugePageHint = HugePageHint.DEFAULT
+
+    @property
+    def end(self) -> int:
+        return self.start + self.npages
+
+    def contains(self, vpn: int) -> bool:
+        """Whether the virtual page lies inside this VMA."""
+        return self.start <= vpn < self.end
+
+    def covers(self, vpn: int, npages: int) -> bool:
+        """Whether [vpn, vpn+npages) lies entirely inside this VMA."""
+        return self.start <= vpn and vpn + npages <= self.end
+
+
+class VMAList:
+    """Sorted, non-overlapping collection of VMAs with bisect lookup."""
+
+    def __init__(self) -> None:
+        self._vmas: list[VMA] = []
+        self._starts: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    def add(self, vma: VMA) -> VMA:
+        """Insert a VMA, rejecting overlaps; returns it."""
+        idx = bisect.bisect_left(self._starts, vma.start)
+        if idx > 0 and self._vmas[idx - 1].end > vma.start:
+            raise InvalidAddressError(f"VMA at {vma.start} overlaps {self._vmas[idx - 1].name}")
+        if idx < len(self._vmas) and vma.end > self._vmas[idx].start:
+            raise InvalidAddressError(f"VMA at {vma.start} overlaps {self._vmas[idx].name}")
+        self._vmas.insert(idx, vma)
+        self._starts.insert(idx, vma.start)
+        return vma
+
+    def find(self, vpn: int) -> VMA:
+        """VMA containing ``vpn``; raises :class:`InvalidAddressError` if none."""
+        idx = bisect.bisect_right(self._starts, vpn) - 1
+        if idx >= 0 and self._vmas[idx].contains(vpn):
+            return self._vmas[idx]
+        raise InvalidAddressError(f"no VMA maps virtual page {vpn}")
+
+    def try_find(self, vpn: int) -> VMA | None:
+        """VMA containing the page, or None."""
+        idx = bisect.bisect_right(self._starts, vpn) - 1
+        if idx >= 0 and self._vmas[idx].contains(vpn):
+            return self._vmas[idx]
+        return None
+
+    def remove(self, vma: VMA) -> None:
+        """Remove a VMA previously added; raises if absent."""
+        idx = bisect.bisect_left(self._starts, vma.start)
+        if idx >= len(self._vmas) or self._vmas[idx] is not vma:
+            raise InvalidAddressError(f"VMA {vma.name}@{vma.start} not present")
+        del self._vmas[idx]
+        del self._starts[idx]
+
+    def highest_end(self) -> int:
+        """One past the last mapped virtual page (0 when empty)."""
+        return self._vmas[-1].end if self._vmas else 0

@@ -1,0 +1,34 @@
+"""Workload models: trace generators calibrated to the paper's benchmarks.
+
+Submodules: ``graph`` (Graph500, PageRank), ``xsbench``, ``npb`` (class D),
+``redis`` (four Redis configurations + MongoDB), ``sparsehash``, ``haccio``,
+``spinup`` (JVM/KVM), ``microbench`` (Tables 1/9), ``spec`` (SPEC/CloudSuite
+presets), ``catalog`` (Table 2 / Figure 3 data) and ``trace`` (replay a
+recorded trace file).
+"""
+
+from repro.workloads.base import (
+    AccessProfile,
+    ContentSpec,
+    FreeOp,
+    MmapOp,
+    Phase,
+    RegionAccessSpec,
+    SleepOp,
+    TouchOp,
+    Workload,
+    WorkloadRun,
+)
+
+__all__ = [
+    "AccessProfile",
+    "ContentSpec",
+    "FreeOp",
+    "MmapOp",
+    "Phase",
+    "RegionAccessSpec",
+    "SleepOp",
+    "TouchOp",
+    "Workload",
+    "WorkloadRun",
+]

@@ -1,0 +1,103 @@
+"""Generic allocate-then-compute workloads, with paper calibrations.
+
+Most of the paper's benchmarks share one shape: allocate the whole
+footprint up front (in whatever memory state the machine is in — the
+fragmentation experiments rely on this), then compute over it with a
+characteristic access pattern.  :class:`ComputeWorkload` captures that
+shape; the calibrated subclasses live in :mod:`repro.workloads.graph`,
+:mod:`repro.workloads.xsbench` and :mod:`repro.workloads.npb`.
+
+Calibration: with the hardware model's constants, a process accessing far
+more base pages than the 1088 TLB entries at ``access_rate`` R (accesses
+per useful µs) under a random pattern has
+
+    x ≈ R × miss × 48 / 2300,   overhead = x / (1 + x)
+
+so R ≈ overhead/(1-overhead) × 2300/48 ÷ miss.  Each workload model picks
+R (and pattern) to land on the paper's measured 4 KiB overhead.
+"""
+
+from __future__ import annotations
+
+from repro.patterns import Pattern
+from repro.units import SEC
+from repro.workloads.base import (
+    AccessProfile,
+    MmapOp,
+    Phase,
+    RegionAccessSpec,
+    TouchOp,
+    Workload,
+)
+
+#: default linear memory scale for experiments (1/64 of the paper's
+#: machine: a "48 GB" experiment simulates 768 MB).  Policy thresholds
+#: are fractional, so behaviour is scale-invariant; background-thread
+#: rates must be scaled alongside (see repro.experiments).
+DEFAULT_SCALE = 1.0 / 64.0
+
+
+class ComputeWorkload(Workload):
+    """Allocate ``footprint`` then retire ``work_us`` of compute.
+
+    ``hot_start``/``hot_len`` place the hot region within the VA space
+    (the paper's Figure 6 shows Graph500/XSBench hot-spots living in high
+    VAs, which is what defeats sequential-scan promotion).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        footprint_bytes: int,
+        work_us: float,
+        access_rate: float,
+        coverage: int = 512,
+        pattern: Pattern = Pattern.RANDOM,
+        hot_start: float = 0.0,
+        hot_len: float = 1.0,
+        cache_sensitivity: float = 0.3,
+        scale: float = 1.0,
+        region: str = "heap",
+    ):
+        self.name = name
+        self.footprint_bytes = int(footprint_bytes * scale)
+        self.work_us = work_us
+        self.region = region
+        self.profile = AccessProfile(
+            specs=[
+                RegionAccessSpec(
+                    region,
+                    coverage=coverage,
+                    pattern=pattern,
+                    hot_start=hot_start,
+                    hot_len=hot_len,
+                )
+            ],
+            access_rate=access_rate,
+            cache_sensitivity=cache_sensitivity,
+        )
+
+    def build_phases(self) -> list[Phase]:
+        """Allocate-everything init phase, then one compute phase."""
+        return [
+            Phase(
+                "init",
+                ops=[MmapOp(self.region, self.footprint_bytes), TouchOp(self.region)],
+            ),
+            Phase("compute", work_us=self.work_us, profile=self.profile),
+        ]
+
+
+def expected_overhead(access_rate: float, pattern: Pattern = Pattern.RANDOM,
+                      miss: float = 0.96) -> float:
+    """Back-of-envelope overhead for a TLB-saturating 4 KiB working set."""
+    from repro.tlb.walk import pattern_latency_factor, walk_cycles
+    from repro.units import CYCLES_PER_USEC
+
+    x = access_rate * miss * walk_cycles("4k") * pattern_latency_factor(pattern) / CYCLES_PER_USEC
+    return x / (1.0 + x)
+
+
+def seconds(n: float) -> float:
+    """Readability helper: seconds -> microseconds."""
+    return n * SEC

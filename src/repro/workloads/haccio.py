@@ -1,0 +1,39 @@
+"""HACC-IO: the CORAL parallel-IO benchmark against an in-memory FS.
+
+Table 8 runs HACC-IO with a 6 GB payload on an in-memory filesystem, so
+"IO" is page faults on the tmpfs pages plus a memory-bandwidth copy.  The
+payload writes go to anonymous buffers first (zeroed on fault) and then
+stream into the FS pages, giving both a fault-bound and a copy component.
+"""
+
+from __future__ import annotations
+
+from repro.units import GB, SEC
+from repro.workloads.base import ContentSpec, MmapOp, Phase, TouchOp, Workload
+from repro.vm.vma import VMAKind
+
+
+class HaccIO(Workload):
+    """6 GB particle-IO checkpoint into an in-memory filesystem."""
+
+    name = "hacc-io"
+
+    def __init__(self, scale: float = 1.0, payload_bytes: int = 6 * GB,
+                 io_work_us: float = 2.3 * SEC):
+        self.payload_bytes = int(payload_bytes * scale)
+        self.io_work_us = io_work_us * scale
+
+    def build_phases(self) -> list[Phase]:
+        """A single fault-plus-copy checkpoint phase."""
+        pages = self.payload_bytes // 4096
+        per_page_work = self.io_work_us / max(pages, 1)
+        return [
+            Phase(
+                "checkpoint",
+                ops=[
+                    MmapOp("particles", self.payload_bytes),
+                    TouchOp("particles", content=ContentSpec(first_nonzero=0),
+                            work_per_page_us=per_page_work),
+                ],
+            ),
+        ]

@@ -1,0 +1,131 @@
+"""Microbenchmarks from the paper's motivation and evaluation sections.
+
+* :class:`AllocTouchFree` — §2.2 / Table 1: allocate a 10 GB buffer,
+  touch one byte in every base page, free the buffer; repeated 10 times
+  (≈100 GB of faults).  Purely fault-bound: the workload that shows why
+  async promotion (Ingens) loses the fewer-page-faults benefit of huge
+  pages and why synchronous zeroing dominates huge-fault latency.
+* :class:`RandomAccess` / :class:`SequentialAccess` — Table 9: two 4 GB
+  workloads with identical *access-coverage* (every base page of the
+  buffer touched each interval) but opposite MMU behaviour: random
+  pointer-chasing at ≈60 % walk overhead vs a streaming pass at <1 %.
+  HawkEye-G cannot tell them apart; HawkEye-PMU can.
+"""
+
+from __future__ import annotations
+
+from repro.patterns import Pattern
+from repro.units import GB, SEC
+from repro.workloads.base import (
+    AccessProfile,
+    ContentSpec,
+    FreeOp,
+    MmapOp,
+    Phase,
+    RegionAccessSpec,
+    TouchOp,
+    Workload,
+)
+from repro.workloads.compute import ComputeWorkload
+
+
+class AllocTouchFree(Workload):
+    """The Table 1 microbenchmark: N rounds of (alloc, touch, free)."""
+
+    name = "alloc-touch-free"
+
+    def __init__(self, buffer_bytes: int = 10 * GB, rounds: int = 10,
+                 scale: float = 1.0, gap_us: float = 0.0):
+        self.buffer_bytes = int(buffer_bytes * scale)
+        self.rounds = rounds
+        #: think time between rounds; gives background threads (e.g. the
+        #: pre-zero thread) the window they would have at full scale,
+        #: where each round takes tens of seconds.
+        self.gap_us = gap_us
+
+    def build_phases(self) -> list[Phase]:
+        """One alloc/touch/free phase per round, with optional gaps."""
+        phases = []
+        for i in range(self.rounds):
+            region = f"buf{i}"
+            ops = [
+                MmapOp(region, self.buffer_bytes),
+                # touch one byte per base page => first_nonzero=0
+                TouchOp(region, content=ContentSpec(first_nonzero=0)),
+                FreeOp(region),
+            ]
+            if self.gap_us > 0:
+                from repro.workloads.base import SleepOp
+
+                ops.append(SleepOp(self.gap_us))
+            phases.append(Phase(f"round-{i}", ops=ops))
+        return phases
+
+
+class RandomAccess(ComputeWorkload):
+    """Table 9 'random(4GB)': high coverage, high measured overhead."""
+
+    def __init__(self, scale: float = 1.0, footprint_bytes: int = 4 * GB,
+                 work_us: float = 233 * SEC, name: str = "random-4g"):
+        super().__init__(
+            name=name,
+            footprint_bytes=footprint_bytes,
+            work_us=work_us,
+            access_rate=74.0,         # ≈60 % MMU overhead at 4 KiB
+            coverage=512,
+            pattern=Pattern.RANDOM,
+            scale=scale,
+        )
+
+
+class SequentialAccess(ComputeWorkload):
+    """Table 9 'sequential(4GB)': same coverage, <1 % measured overhead."""
+
+    def __init__(self, scale: float = 1.0, footprint_bytes: int = 4 * GB,
+                 work_us: float = 514 * SEC, name: str = "sequential-4g"):
+        super().__init__(
+            name=name,
+            footprint_bytes=footprint_bytes,
+            work_us=work_us,
+            access_rate=74.0,         # same rate, but streaming
+            coverage=512,             # same access-coverage as random!
+            pattern=Pattern.SEQUENTIAL,
+            scale=scale,
+        )
+
+
+class SparseTouch(Workload):
+    """Touch a fraction of pages in every huge region (bloat generator).
+
+    Models a fragmented allocator placing small objects sparsely across a
+    huge-page-backed heap; with huge-at-fault policies this creates
+    zero-filled bloat that §3.2's recovery can reclaim.
+    """
+
+    name = "sparse-touch"
+
+    def __init__(self, footprint_bytes: int, stride_pages: int = 4,
+                 hold_us: float = 100 * SEC, scale: float = 1.0,
+                 name: str = "sparse-touch"):
+        self.name = name
+        self.footprint_bytes = int(footprint_bytes * scale)
+        self.stride_pages = stride_pages
+        self.hold_us = hold_us
+
+    def build_phases(self) -> list[Phase]:
+        """Sparse allocation phase, then a hold phase with its profile."""
+        profile = AccessProfile(
+            specs=[RegionAccessSpec("heap", coverage=512 // self.stride_pages)],
+            access_rate=5.0,
+        )
+        return [
+            Phase(
+                "alloc",
+                ops=[
+                    MmapOp("heap", self.footprint_bytes),
+                    TouchOp("heap", stride_pages=self.stride_pages,
+                            content=ContentSpec(first_nonzero=0)),
+                ],
+            ),
+            Phase("hold", duration_us=self.hold_us, profile=profile),
+        ]

@@ -1,0 +1,100 @@
+"""NAS Parallel Benchmarks, class D — calibrated to the paper's Table 3.
+
+Table 3 gives, per workload: RSS, WSS, native-4K TLB-miss rate, MMU
+overhead ("% cycles") at 4 KiB and 2 MiB, and speedup native/virtual.
+Each model below picks footprint (RSS), hot fraction (WSS/RSS), pattern
+and access rate so the hardware model lands on the measured 4 KiB
+overhead; the 2 MiB overheads then fall out near zero (matching the
+paper's sub-2 % values), and the speedups follow as 1/(1-overhead).
+
+===========  =====  =========  ===========  ==========  ============
+workload     RSS    WSS        4K overhead  2M overhead  speedup (nat)
+bt.D         10 GB  7–10 GB    6.4 %        1.31 %       1.05×
+sp.D         12 GB  8–12 GB    4.7 %        0.25 %       1.01×
+lu.D          8 GB  8 GB       3.3 %        0.18 %       1.0×
+mg.D         26 GB  24 GB      1.04 %       0.04 %       1.01×
+cg.D         16 GB  7–8 GB     39 %         0.02 %       1.62×
+ft.D         78 GB  7–35 GB    3.9 %        2.14 %       1.01×
+ua.D         9.6GB  5–7 GB     0.8 %        0.03 %       1.01×
+===========  =====  =========  ===========  ==========  ============
+
+The headline divergence the paper builds on: **mg.D has a much larger
+working set than cg.D yet ~40× lower MMU overhead** (sequential/strided
+stencil sweeps vs random sparse-matrix gathers) — which is why
+working-set size is a poor proxy for MMU overhead (§2.4) and why
+HawkEye-PMU beats HawkEye-G on the cg.D+mg.D mix (Table 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.patterns import Pattern
+from repro.units import GB, SEC
+from repro.workloads.compute import ComputeWorkload
+
+
+@dataclass(frozen=True)
+class NPBSpec:
+    """Calibrated parameters for one NPB class-D workload."""
+
+    name: str
+    rss_bytes: int
+    wss_fraction: float       # hot fraction of the footprint
+    access_rate: float        # accesses per useful µs
+    pattern: Pattern
+    coverage: int
+    paper_overhead_4k: float  # Table 3 "% cycles" at 4 KiB
+    paper_overhead_2m: float
+    paper_speedup_native: float
+    paper_speedup_virtual: float
+    work_us: float
+
+
+NPB_SPECS: dict[str, NPBSpec] = {
+    "bt.D": NPBSpec("bt.D", 10 * GB, 0.85, 3.4, Pattern.RANDOM, 400,
+                    0.064, 0.0131, 1.05, 1.15, 1000 * SEC),
+    "sp.D": NPBSpec("sp.D", 12 * GB, 0.83, 2.4, Pattern.RANDOM, 420,
+                    0.047, 0.0025, 1.01, 1.06, 1000 * SEC),
+    "lu.D": NPBSpec("lu.D", 8 * GB, 1.0, 1.7, Pattern.RANDOM, 450,
+                    0.033, 0.0018, 1.00, 1.01, 1000 * SEC),
+    "mg.D": NPBSpec("mg.D", 26 * GB, 0.92, 1.1, Pattern.STRIDED, 512,
+                    0.0104, 0.0004, 1.01, 1.11, 1350 * SEC),
+    "cg.D": NPBSpec("cg.D", 16 * GB, 0.47, 32.0, Pattern.RANDOM, 512,
+                    0.39, 0.0002, 1.62, 2.7, 1190 * SEC),
+    "ft.D": NPBSpec("ft.D", 78 * GB, 0.26, 2.0, Pattern.RANDOM, 380,
+                    0.039, 0.0214, 1.01, 1.04, 1000 * SEC),
+    "ua.D": NPBSpec("ua.D", 9.6 * GB, 0.63, 0.41, Pattern.RANDOM, 430,
+                    0.008, 0.0003, 1.01, 1.03, 1000 * SEC),
+}
+
+
+class NPBWorkload(ComputeWorkload):
+    """One NPB class-D benchmark instance."""
+
+    def __init__(self, which: str, scale: float = 1.0, work_us: float | None = None,
+                 name: str | None = None):
+        spec = NPB_SPECS[which]
+        self.spec = spec
+        super().__init__(
+            name=name or spec.name,
+            footprint_bytes=spec.rss_bytes,
+            work_us=work_us if work_us is not None else spec.work_us,
+            access_rate=spec.access_rate,
+            coverage=spec.coverage,
+            pattern=spec.pattern,
+            hot_start=0.0,
+            hot_len=spec.wss_fraction,
+            cache_sensitivity=0.4,
+            scale=scale,
+        )
+
+
+def cg_d(scale: float = 1.0, **kw) -> NPBWorkload:
+    """Convenience constructor for NPB cg.D."""
+    return NPBWorkload("cg.D", scale=scale, **kw)
+
+
+def mg_d(scale: float = 1.0, **kw) -> NPBWorkload:
+    """Convenience constructor for NPB mg.D."""
+    return NPBWorkload("mg.D", scale=scale, **kw)

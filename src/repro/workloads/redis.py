@@ -1,0 +1,268 @@
+"""Redis (and MongoDB) key-value store models.
+
+Four configurations the paper evaluates:
+
+* :class:`RedisFig1` — the §2.1 bloat experiment: insert 45 GB of
+  4 KB values (P1), delete 80 % of keys (P2, releasing memory back to the
+  kernel via madvise — the kernel breaks the covering huge mappings), and
+  after a gap insert 2 MB values until the dataset is 45 GB again (P3).
+  On Linux/Ingens, khugepaged-style collapse of the sparse old heap
+  re-maps its freed pages as zero-filled bloat, driving the system to OOM
+  before P3 completes; HawkEye's watermark/emergency bloat recovery
+  de-duplicates the zero pages and survives.
+* :class:`RedisChurn` — Table 7: insert 8M×4 KB pairs, delete 60 %, then
+  serve at capacity.  Exposes the bloat-vs-throughput trade-off across
+  policies.
+* :class:`RedisBulkInsert` — Table 8: throughput inserting 2 MB values,
+  purely fault-bound; the workload where async pre-zeroing of huge pages
+  shines.
+* :class:`RedisLight` — Figure 8: a lightly-loaded server (10 K req/s
+  over 40 GB of 1 KB values) whose keys are requested uniformly, so its
+  huge pages all look equally (un)deserving; the TLB-insensitive
+  co-runner that baits Linux's FCFS and Ingens's proportional policies.
+"""
+
+from __future__ import annotations
+
+from repro.patterns import Pattern
+from repro.units import GB, SEC
+from repro.workloads.base import (
+    AccessProfile,
+    ContentSpec,
+    FreeOp,
+    MmapOp,
+    Phase,
+    RegionAccessSpec,
+    SleepOp,
+    TouchOp,
+    Workload,
+)
+
+#: server-side CPU per request for a capacity-bound Redis (calibrated so
+#: Table 7's 2 MB-page throughput lands near the paper's 113.8 K ops/s).
+REQUEST_COST_US = 8.79
+
+
+class RedisFig1(Workload):
+    """The Figure 1 insert / delete-80% / re-insert bloat workload."""
+
+    name = "redis-fig1"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        dataset_bytes: int = 45 * GB,
+        p3_bytes: int = 36 * GB,
+        insert_rate_pages_per_sec: float = 20_000.0,
+        gap_us: float = 120 * SEC,
+    ):
+        self.dataset_bytes = int(dataset_bytes * scale)
+        self.p3_bytes = int(p3_bytes * scale)
+        self.insert_rate = insert_rate_pages_per_sec * scale
+        self.gap_us = gap_us
+
+    def build_phases(self) -> list[Phase]:
+        """P1 insert, P2 delete-80%, gap, P3 re-insert, steady state."""
+        survivors = AccessProfile(
+            specs=[RegionAccessSpec("heap", coverage=100)], access_rate=2.0
+        )
+        return [
+            Phase(
+                "P1-insert",
+                ops=[
+                    MmapOp("heap", self.dataset_bytes),
+                    TouchOp("heap", content=ContentSpec(first_nonzero=0),
+                            rate_pages_per_sec=self.insert_rate,
+                            work_per_page_us=1.0),
+                ],
+            ),
+            Phase("P2-delete", ops=[FreeOp("heap", sparse_fraction=0.8)]),
+            Phase("gap", ops=[SleepOp(self.gap_us)], profile=survivors),
+            Phase(
+                "P3-reinsert",
+                ops=[
+                    MmapOp("heap2", self.p3_bytes),
+                    TouchOp("heap2", content=ContentSpec(first_nonzero=0),
+                            rate_pages_per_sec=self.insert_rate,
+                            work_per_page_us=1.0),
+                ],
+                profile=survivors,
+            ),
+            Phase("steady", duration_us=30 * SEC, profile=survivors),
+        ]
+
+
+class RedisChurn(Workload):
+    """Table 7: populate, delete 60 % of keys, serve at capacity."""
+
+    name = "redis-churn"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        dataset_bytes: int = 32 * GB,
+        delete_fraction: float = 0.6,
+        serve_us: float = 120 * SEC,
+        settle_us: float = 120 * SEC,
+        insert_rate_pages_per_sec: float = 200_000.0,
+    ):
+        self.dataset_bytes = int(dataset_bytes * scale)
+        self.delete_fraction = delete_fraction
+        self.serve_us = serve_us
+        self.settle_us = settle_us
+        self.insert_rate = insert_rate_pages_per_sec * scale
+
+    def serving_profile(self) -> AccessProfile:
+        # Requests hit the surviving ~40 % of each huge region at random:
+        # ≈7 % MMU overhead with base pages (Table 7's 106.1K vs 113.8K).
+        """Access profile of capacity-bound serving over the survivors."""
+        survivor_coverage = int(512 * (1.0 - self.delete_fraction))
+        return AccessProfile(
+            specs=[RegionAccessSpec("heap", coverage=survivor_coverage)],
+            access_rate=3.64,
+        )
+
+    def build_phases(self) -> list[Phase]:
+        """Insert, delete-60%, settle, then a capacity-bound serve phase."""
+        profile = self.serving_profile()
+        return [
+            Phase(
+                "insert",
+                ops=[
+                    MmapOp("heap", self.dataset_bytes),
+                    TouchOp("heap", content=ContentSpec(first_nonzero=0),
+                            rate_pages_per_sec=self.insert_rate,
+                            work_per_page_us=1.0),
+                ],
+            ),
+            Phase("delete", ops=[FreeOp("heap", sparse_fraction=self.delete_fraction)]),
+            Phase("settle", duration_us=self.settle_us, profile=profile),
+            Phase(
+                "serve",
+                duration_us=self.serve_us,
+                profile=profile,
+                request_rate=1e9,  # offered load far above capacity
+                request_cost_us=REQUEST_COST_US,
+            ),
+        ]
+
+
+class RedisBulkInsert(Workload):
+    """Table 8: insert 2 MB values as fast as faults allow."""
+
+    name = "redis-bulk"
+
+    #: application CPU per 2 MB value (serialisation, dict insert), spread
+    #: over its 512 pages.  Calibrated to Table 8's Linux 4K/2M ratio.
+    VALUE_CPU_US = 1050.0
+
+    def __init__(self, scale: float = 1.0, dataset_bytes: int = 45 * GB):
+        self.dataset_bytes = int(dataset_bytes * scale)
+
+    def build_phases(self) -> list[Phase]:
+        """One fault-bound 2 MB-value insert phase."""
+        return [
+            Phase(
+                "insert",
+                ops=[
+                    MmapOp("heap", self.dataset_bytes),
+                    TouchOp("heap", content=ContentSpec(first_nonzero=0),
+                            work_per_page_us=self.VALUE_CPU_US / 512.0),
+                ],
+            ),
+        ]
+
+    def values_inserted(self) -> int:
+        """Number of 2 MB values the dataset comprises."""
+        from repro.units import HUGE_PAGE_SIZE
+
+        return self.dataset_bytes // HUGE_PAGE_SIZE
+
+
+class RedisLight(Workload):
+    """Figure 8: lightly-loaded server, uniformly-accessed keys."""
+
+    name = "redis-light"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        dataset_bytes: int = 40 * GB,
+        request_rate: float = 10_000.0,
+        serve_us: float = 2400 * SEC,
+        insert_rate_pages_per_sec: float = 400_000.0,
+    ):
+        self.dataset_bytes = int(dataset_bytes * scale)
+        self.request_rate = request_rate
+        self.serve_us = serve_us
+        self.insert_rate = insert_rate_pages_per_sec * scale
+
+    def build_phases(self) -> list[Phase]:
+        # Uniform random key requests touch every huge region at full
+        # coverage — to access-coverage trackers Redis looks maximally
+        # hot, but its low request rate makes huge pages nearly useless.
+        """Paced load phase, then a long lightly-loaded serve phase."""
+        profile = AccessProfile(
+            specs=[RegionAccessSpec("heap", coverage=512)],
+            access_rate=0.8,
+        )
+        return [
+            Phase(
+                "insert",
+                ops=[
+                    MmapOp("heap", self.dataset_bytes),
+                    TouchOp("heap", content=ContentSpec(first_nonzero=0),
+                            rate_pages_per_sec=self.insert_rate),
+                ],
+            ),
+            Phase(
+                "serve",
+                duration_us=self.serve_us,
+                profile=profile,
+                request_rate=self.request_rate,
+                request_cost_us=20.0,
+            ),
+        ]
+
+
+class MongoDB(Workload):
+    """MongoDB-style document store for the overcommit mix (Figure 11)."""
+
+    name = "mongodb"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        dataset_bytes: int = 24 * GB,
+        request_rate: float = 30_000.0,
+        serve_us: float = 600 * SEC,
+        insert_rate_pages_per_sec: float = 400_000.0,
+    ):
+        self.dataset_bytes = int(dataset_bytes * scale)
+        self.request_rate = request_rate
+        self.serve_us = serve_us
+        self.insert_rate = insert_rate_pages_per_sec * scale
+
+    def build_phases(self) -> list[Phase]:
+        """Paced document load, then a serving phase."""
+        profile = AccessProfile(
+            specs=[RegionAccessSpec("heap", coverage=320, hot_len=0.6)],
+            access_rate=2.5,
+        )
+        return [
+            Phase(
+                "load",
+                ops=[
+                    MmapOp("heap", self.dataset_bytes),
+                    TouchOp("heap", content=ContentSpec(first_nonzero=0),
+                            rate_pages_per_sec=self.insert_rate),
+                ],
+            ),
+            Phase(
+                "serve",
+                duration_us=self.serve_us,
+                profile=profile,
+                request_rate=self.request_rate,
+                request_cost_us=25.0,
+            ),
+        ]

@@ -1,0 +1,76 @@
+"""SPEC CPU2006 and CloudSuite workload presets.
+
+These instantiate the Table 2 catalog's TLB-sensitive applications as
+runnable workloads, with footprints from the literature and access rates
+taken from :mod:`repro.workloads.catalog` (so the classification the
+Table 2 benchmark verifies and the runnable models stay consistent).
+
+The four SPECint models (mcf, omnetpp, xalancbmk, astar) are the paper's
+recurring cache-/TLB-sensitive examples; omnetpp and xalancbmk double as
+the Figure 10 interference victims, so their ``cache_sensitivity`` values
+match that calibration.
+"""
+
+from __future__ import annotations
+
+from repro.patterns import Pattern
+from repro.units import GB, MB, SEC
+from repro.workloads.catalog import APPLICATIONS
+from repro.workloads.compute import ComputeWorkload
+
+#: (footprint, work seconds, hot fraction, cache sensitivity) per preset.
+_PRESETS: dict[str, tuple[int, float, float, float]] = {
+    "mcf": (1700 * MB, 700 * SEC, 1.0, 0.6),
+    "omnetpp": (170 * MB, 500 * SEC, 1.0, 1.0),
+    "xalancbmk": (430 * MB, 500 * SEC, 1.0, 0.8),
+    "astar": (330 * MB, 500 * SEC, 1.0, 0.4),
+    "canneal": (940 * MB, 600 * SEC, 1.0, 0.7),
+    "dedup": (1600 * MB, 400 * SEC, 0.7, 0.5),
+    "tigr": (600 * MB, 600 * SEC, 1.0, 0.4),
+    "mummer": (2 * GB, 700 * SEC, 0.9, 0.4),
+    "graph-analytics": (12 * GB, 900 * SEC, 0.8, 0.6),
+    "data-analytics": (8 * GB, 800 * SEC, 0.8, 0.5),
+}
+
+_RATES = {app.name: (app.access_rate, app.pattern) for app in APPLICATIONS}
+
+
+def available() -> list[str]:
+    """Names of the runnable SPEC/CloudSuite presets."""
+    return sorted(_PRESETS)
+
+
+def make(name: str, scale: float = 1.0, work_us: float | None = None) -> ComputeWorkload:
+    """Build a preset workload by catalog name."""
+    if name not in _PRESETS:
+        raise KeyError(f"no preset {name!r}; have {available()}")
+    footprint, work, hot_len, sensitivity = _PRESETS[name]
+    rate, pattern = _RATES[name]
+    return ComputeWorkload(
+        name=name,
+        footprint_bytes=footprint,
+        work_us=work if work_us is None else work_us,
+        access_rate=rate,
+        coverage=512 if pattern is Pattern.RANDOM else 480,
+        pattern=pattern,
+        hot_start=0.0,
+        hot_len=hot_len,
+        cache_sensitivity=sensitivity,
+        scale=scale,
+    )
+
+
+class Mcf(ComputeWorkload):
+    """429.mcf: pointer-chasing network simplex — the classic TLB hog."""
+
+    def __init__(self, scale: float = 1.0, **kw):
+        preset = make("mcf", scale, kw.pop("work_us", None))
+        self.__dict__.update(preset.__dict__)
+
+
+class Omnetpp(ComputeWorkload):
+    """471.omnetpp: discrete-event simulation, the Figure 10 worst case."""
+
+    def __init__(self, scale: float = 1.0, **kw):
+        preset = make("omnetpp", scale, kw.pop("work_us", None))
+        self.__dict__.update(preset.__dict__)

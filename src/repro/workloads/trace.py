@@ -1,0 +1,201 @@
+"""Trace-driven workloads: replay recorded memory behaviour.
+
+Downstream users rarely want to hand-model an application; they want to
+replay what it did.  :class:`TraceWorkload` executes a flat list of trace
+records — the subset of behaviour the simulator prices — and can be
+loaded from a simple text format (one record per line, ``#`` comments):
+
+```
+mmap      heap 64MB
+touch     heap 0 16384
+advise    heap hugepage
+compute   25s
+free      heap 0 8192 sparse=0.5
+serve     30s rate=10000 cost=12
+```
+
+Sizes accept ``KB/MB/GB`` suffixes; times accept ``s/ms/us``.  Each
+record maps onto the same operations the built-in workload models use,
+so traces compose with every policy and experiment helper.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.units import GB, KB, MB, SEC
+from repro.vm.vma import HugePageHint, VMAKind
+from repro.workloads.base import (
+    AccessProfile,
+    ContentSpec,
+    FreeOp,
+    MmapOp,
+    Op,
+    Phase,
+    RegionAccessSpec,
+    SleepOp,
+    TouchOp,
+    Workload,
+)
+
+_SIZE_SUFFIXES = {"KB": KB, "MB": MB, "GB": GB, "B": 1}
+_TIME_SUFFIXES = {"US": 1.0, "MS": 1000.0, "S": SEC}
+
+
+def parse_size(token: str) -> int:
+    """'64MB' -> bytes."""
+    upper = token.upper()
+    for suffix, mult in _SIZE_SUFFIXES.items():
+        if upper.endswith(suffix):
+            return int(float(upper[: -len(suffix)]) * mult)
+    return int(token)
+
+
+def parse_time(token: str) -> float:
+    """'25s' -> microseconds."""
+    upper = token.upper()
+    for suffix, mult in sorted(_TIME_SUFFIXES.items(), key=lambda kv: -len(kv[0])):
+        if upper.endswith(suffix):
+            return float(upper[: -len(suffix)]) * mult
+    return float(token)
+
+
+def _kwargs(tokens: list[str]) -> dict[str, str]:
+    out = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ConfigError(f"expected key=value, got {tok!r}")
+        key, value = tok.split("=", 1)
+        out[key] = value
+    return out
+
+
+class _AdviseOp(Op):
+    """Deferred madvise(MADV_HUGEPAGE/NOHUGEPAGE) on a named region."""
+
+    def __init__(self, region: str, hint: HugePageHint):
+        self.region = region
+        self.hint = hint
+
+    def execute(self, kernel, run, budget_us):
+        kernel.madvise_hugepage(run.proc, self.region, self.hint)
+        run.invalidate_vma_cache()
+        return 0.5, True
+
+
+class TraceWorkload(Workload):
+    """A workload defined entirely by a parsed trace."""
+
+    def __init__(self, phases: list[Phase], name: str = "trace"):
+        self.name = name
+        self._phases = phases
+
+    def build_phases(self) -> list[Phase]:
+        """Deep-copy the parsed phases so op resume state is fresh."""
+        import copy
+
+        return copy.deepcopy(self._phases)
+
+    # ------------------------------------------------------------------ #
+    # parsing                                                             #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, text: str | Iterable[str], name: str = "trace",
+              scale: float = 1.0) -> "TraceWorkload":
+        """Parse the text trace format; ``scale`` multiplies all sizes."""
+        if isinstance(text, str):
+            text = io.StringIO(text)
+        phases: list[Phase] = []
+        pending_ops: list[Op] = []
+        counter = 0
+
+        def flush(work_us=0.0, duration_us=0.0, profile=None,
+                  request_rate=0.0, request_cost_us=0.0):
+            nonlocal pending_ops, counter
+            phases.append(Phase(
+                f"t{counter}", ops=pending_ops, work_us=work_us,
+                duration_us=duration_us, profile=profile,
+                request_rate=request_rate, request_cost_us=request_cost_us,
+            ))
+            pending_ops = []
+            counter += 1
+
+        for lineno, raw in enumerate(text, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            op, *args = line.split()
+            try:
+                cls._parse_record(op.lower(), args, scale, pending_ops, flush)
+            except (ValueError, KeyError, IndexError) as exc:
+                raise ConfigError(f"trace line {lineno}: {raw.strip()!r}: {exc}") from exc
+        if pending_ops:
+            flush()
+        return cls(phases, name=name)
+
+    @staticmethod
+    def _parse_record(op, args, scale, pending_ops, flush):
+        if op == "mmap":
+            region, size = args[0], parse_size(args[1])
+            kind = VMAKind(args[2]) if len(args) > 2 else VMAKind.ANON
+            pending_ops.append(MmapOp(region, max(1, int(size * scale)), kind))
+        elif op == "touch":
+            region = args[0]
+            start = int(args[1]) if len(args) > 1 else 0
+            npages = int(args[2]) if len(args) > 2 else None
+            kw = _kwargs(args[3:])
+            pending_ops.append(TouchOp(
+                region, start_page=int(start * scale),
+                npages=None if npages is None else max(1, int(npages * scale)),
+                stride_pages=int(kw.get("stride", 1)),
+                rate_pages_per_sec=(float(kw["rate"]) * scale) if "rate" in kw else None,
+                content=ContentSpec(zero=kw.get("zero", "0") == "1"),
+            ))
+        elif op == "free":
+            region = args[0]
+            kw = _kwargs([a for a in args[1:] if "=" in a])
+            positional = [a for a in args[1:] if "=" not in a]
+            start = int(positional[0]) if positional else 0
+            npages = int(positional[1]) if len(positional) > 1 else None
+            pending_ops.append(FreeOp(
+                region, start_page=int(start * scale),
+                npages=None if npages is None else max(1, int(npages * scale)),
+                sparse_fraction=float(kw["sparse"]) if "sparse" in kw else None,
+            ))
+        elif op == "advise":
+            region, hint = args[0], args[1].lower()
+            mapping = {"hugepage": HugePageHint.ALWAYS,
+                       "nohugepage": HugePageHint.NEVER,
+                       "default": HugePageHint.DEFAULT}
+            pending_ops.append(_AdviseOp(region, mapping[hint]))
+        elif op == "sleep":
+            pending_ops.append(SleepOp(parse_time(args[0])))
+        elif op == "compute":
+            work = parse_time(args[0])
+            kw = _kwargs(args[1:])
+            profile = None
+            if "region" in kw:
+                profile = AccessProfile(
+                    specs=[RegionAccessSpec(
+                        kw["region"],
+                        coverage=int(kw.get("coverage", 512)),
+                    )],
+                    access_rate=float(kw.get("access_rate", 10.0)),
+                )
+            flush(work_us=work, profile=profile)
+        elif op == "serve":
+            duration = parse_time(args[0])
+            kw = _kwargs(args[1:])
+            flush(duration_us=duration,
+                  request_rate=float(kw.get("rate", 0.0)),
+                  request_cost_us=float(kw.get("cost", 0.0)))
+        else:
+            raise KeyError(f"unknown trace op {op!r}")
+
+    @classmethod
+    def from_file(cls, path, name: str | None = None, scale: float = 1.0) -> "TraceWorkload":
+        with open(path) as handle:
+            return cls.parse(handle, name=name or str(path), scale=scale)

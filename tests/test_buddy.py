@@ -1,0 +1,149 @@
+"""Unit tests for the buddy allocator and its zero/non-zero free lists."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frames import FrameTable
+
+
+def make(num_frames=4096):
+    frames = FrameTable(num_frames)
+    return frames, BuddyAllocator(frames)
+
+
+def test_all_memory_free_at_boot():
+    _, buddy = make()
+    assert buddy.free_pages == 4096
+    assert buddy.allocated_pages == 0
+
+
+def test_alloc_free_roundtrip():
+    frames, buddy = make()
+    start, zeroed = buddy.alloc(order=0)
+    assert frames.allocated[start]
+    assert zeroed, "boot memory is zero content"
+    assert buddy.free_pages == 4095
+    buddy.free(start, 0)
+    assert buddy.free_pages == 4096
+
+
+def test_order9_alloc_is_huge_aligned():
+    _, buddy = make()
+    start, _ = buddy.alloc(order=9)
+    assert start % 512 == 0
+
+
+def test_split_and_coalesce_restores_block_counts():
+    _, buddy = make(2048)
+    before = buddy.free_block_counts()
+    blocks = [buddy.alloc(order=0)[0] for _ in range(64)]
+    for b in blocks:
+        buddy.free(b, 0)
+    assert buddy.free_block_counts() == before
+
+
+def test_double_free_rejected():
+    _, buddy = make()
+    start, _ = buddy.alloc(order=3)
+    buddy.free(start, 3)
+    with pytest.raises(AllocationError):
+        buddy.free(start, 3)
+
+
+def test_alloc_failure_when_exhausted():
+    _, buddy = make(1024)
+    buddy.alloc(order=10)
+    assert buddy.try_alloc(order=0) is None
+    with pytest.raises(AllocationError):
+        buddy.alloc(order=0)
+
+
+def test_invalid_order_rejected():
+    _, buddy = make()
+    with pytest.raises(AllocationError):
+        buddy.try_alloc(order=11)
+
+
+def test_free_range_decomposes_into_blocks():
+    _, buddy = make(2048)
+    start, _ = buddy.alloc(order=9)
+    # free an unaligned interior range
+    buddy.free_range(start + 3, 200)
+    assert buddy.free_pages == 2048 - 512 + 200
+    buddy.free_range(start, 3)
+    buddy.free_range(start + 203, 512 - 203)
+    assert buddy.free_pages == 2048
+
+
+def test_zero_list_preference():
+    frames, buddy = make(2048)
+    a, _ = buddy.alloc(order=0)
+    frames.write(a)  # dirty it
+    buddy.free(a, 0)
+    # prefer_zero: should NOT hand back the dirty frame while zero
+    # blocks remain
+    b, zeroed = buddy.alloc(order=0, prefer_zero=True)
+    assert zeroed
+    # prefer_nonzero: should hand back the dirty frame
+    c, zeroed_c = buddy.alloc(order=0, prefer_zero=False)
+    assert c == a
+    assert not zeroed_c
+
+
+def test_merged_block_zero_state_follows_content():
+    frames, buddy = make(1024)
+    a, _ = buddy.alloc(order=0)
+    frames.write(a)
+    buddy.free(a, 0)
+    # after coalescing, no block containing frame a may be on a zero list
+    assert buddy.free_zeroed_pages() < buddy.free_pages
+    for start, order, zeroed in buddy.iter_free_blocks():
+        if start <= a < start + (1 << order):
+            assert not zeroed
+
+
+def test_pop_nonzero_and_reinsert_zeroed():
+    frames, buddy = make(1024)
+    a, _ = buddy.alloc(order=0)
+    frames.write(a)
+    buddy.free(a, 0)
+    popped = buddy.pop_nonzero_block()
+    assert popped is not None
+    start, order = popped
+    assert start <= a < start + (1 << order)
+    buddy.reinsert_zeroed(start, order)
+    assert buddy.pop_nonzero_block() is None
+    assert buddy.free_zeroed_pages() == buddy.free_pages
+
+
+def test_reinsert_dirty_keeps_block_dirty():
+    frames, buddy = make(1024)
+    a, _ = buddy.alloc(order=0)
+    frames.write(a)
+    buddy.free(a, 0)
+    start, order = buddy.pop_nonzero_block()
+    buddy.reinsert_dirty(start, order)
+    assert buddy.pop_nonzero_block() == (start, order)
+    buddy.reinsert_dirty(start, order)
+
+
+def test_free_blocks_at_least():
+    _, buddy = make(4096)
+    assert buddy.free_blocks_at_least(9) >= 4
+    buddy.alloc(order=9)
+    counts = buddy.free_block_counts()
+    assert sum(counts) == buddy.free_blocks_at_least(0)
+
+
+def test_non_power_of_two_memory_seeded_fully():
+    frames = FrameTable(3000)
+    buddy = BuddyAllocator(frames)
+    assert buddy.free_pages == 3000
+    taken = []
+    while True:
+        got = buddy.try_alloc(0)
+        if got is None:
+            break
+        taken.append(got[0])
+    assert len(taken) == 3000

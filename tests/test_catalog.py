@@ -1,0 +1,46 @@
+"""Unit tests for the benchmark-suite catalog (Table 2, Figure 3 data)."""
+
+import pytest
+
+from repro.tlb.mmu_model import MMUModel, RegionLoad
+from repro.workloads import catalog
+
+
+def test_suite_totals_match_table2():
+    for suite, (total, _) in catalog.TABLE2_PAPER.items():
+        assert len(catalog.apps_in(suite)) == total, suite
+    assert len(catalog.APPLICATIONS) == 79
+
+
+def test_paper_sensitive_counts():
+    for suite, (_, sensitive) in catalog.TABLE2_PAPER.items():
+        marked = sum(1 for a in catalog.apps_in(suite) if a.paper_sensitive)
+        assert marked == sensitive, suite
+    assert sum(1 for a in catalog.APPLICATIONS if a.paper_sensitive) == 15
+
+
+def test_model_classification_matches_paper():
+    """The hardware model must classify exactly the paper's 15 apps as
+    TLB sensitive (>3% modelled speedup from huge pages)."""
+    model = MMUModel()
+    for app in catalog.APPLICATIONS:
+        load = RegionLoad(2000, 512.0, 0.0, 1.0, app.pattern)
+        overhead = model.epoch([load], access_rate=app.access_rate).overhead
+        speedup = 1.0 / (1.0 - overhead) - 1.0
+        assert (speedup > catalog.SENSITIVITY_THRESHOLD) == app.paper_sensitive, (
+            f"{app.name}: speedup {speedup:.3f}"
+        )
+
+
+def test_known_sensitive_apps_present():
+    names = {a.name for a in catalog.APPLICATIONS if a.paper_sensitive}
+    assert {"mcf", "astar", "omnetpp", "xalancbmk", "cg", "bt",
+            "tigr", "mummer", "canneal", "dedup"} <= names
+
+
+def test_figure3_mean_distance():
+    """Figure 3: overall mean distance to first non-zero byte ≈ 9.11 B."""
+    assert catalog.first_nonzero_mean() == pytest.approx(
+        catalog.FIRST_NONZERO_PAPER_MEAN, abs=0.05
+    )
+    assert sum(catalog.FIRST_NONZERO_WEIGHTS.values()) == 56

@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import BENCHES, WORKLOADS, build_parser, cmd_compare, cmd_run, main
+from repro.experiments import POLICIES
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "not-a-workload"])
+
+
+def test_workload_registry_factories_build():
+    for name, (desc, factory) in WORKLOADS.items():
+        wl = factory(1 / 256)
+        assert wl.build_phases(), name
+        assert desc
+
+
+def test_bench_targets_exist():
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+    for target, filename in BENCHES.items():
+        assert (bench_dir / filename).exists(), target
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for policy in POLICIES:
+        assert policy in out
+    assert "kvm-spinup" in out
+    assert "fig1" in out
+
+
+def test_run_command(capsys):
+    rc = main([
+        "run", "kvm-spinup", "--policy", "hawkeye-g",
+        "--mem-gb", "48", "--scale", "256", "--max-epochs", "200",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "completed" in out
+    assert "page faults" in out
+
+
+def test_run_command_procfs(capsys):
+    rc = main([
+        "run", "hacc-io", "--policy", "linux-2mb",
+        "--scale", "256", "--max-epochs", "200", "--procfs",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MemTotal:" in out
+    assert "pgfault" in out
+
+
+def test_compare_command(capsys):
+    rc = main([
+        "compare", "sparsehash", "--scale", "256", "--mem-gb", "96",
+        "--policies", "linux-4kb,linux-2mb", "--max-epochs", "500",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "linux-4kb" in out and "linux-2mb" in out
+    assert "speedup vs linux-4kb" in out
+
+
+def test_compare_rejects_unknown_policy(capsys):
+    rc = main([
+        "compare", "sparsehash", "--policies", "linux-4kb,bogus",
+    ])
+    assert rc == 2

@@ -1,0 +1,131 @@
+"""Unit tests for memory compaction."""
+
+import numpy as np
+import pytest
+
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.compaction import CompactionStats, Compactor
+from repro.mem.frames import FrameTable
+from repro.units import PAGES_PER_HUGE
+
+
+class MigrationRegistry:
+    """Trivial rmap standing in for the kernel's migrate callback."""
+
+    def __init__(self):
+        self.locations: dict[int, int] = {}  # logical page -> frame
+        self.by_frame: dict[int, int] = {}
+        self.refuse: set[int] = set()
+
+    def place(self, logical: int, frame: int) -> None:
+        self.locations[logical] = frame
+        self.by_frame[frame] = logical
+
+    def migrate(self, old: int, new: int) -> bool:
+        if old in self.refuse:
+            return False
+        logical = self.by_frame.pop(old, None)
+        if logical is None:
+            return False
+        self.place(logical, new)
+        return True
+
+
+def sparse_setup(num_frames=8192, per_chunk=10):
+    """Allocate a few frames in every chunk so no order-9 block exists."""
+    frames = FrameTable(num_frames)
+    buddy = BuddyAllocator(frames)
+    reg = MigrationRegistry()
+    logical = 0
+    taken = []
+    while True:
+        got = buddy.try_alloc(0, prefer_zero=False)
+        if got is None:
+            break
+        taken.append(got[0])
+    # keep `per_chunk` frames per chunk, free the rest
+    keep = []
+    for chunk in range(num_frames // PAGES_PER_HUGE):
+        base = chunk * PAGES_PER_HUGE
+        keep.extend(range(base, base + per_chunk))
+    keep_set = set(keep)
+    for f in taken:
+        if f in keep_set:
+            reg.place(logical, f)
+            logical += 1
+        else:
+            buddy.free(f, 0)
+    return frames, buddy, reg
+
+
+def test_compaction_creates_huge_blocks():
+    frames, buddy, reg = sparse_setup()
+    assert buddy.free_blocks_at_least(9) == 0
+    compactor = Compactor(buddy, reg.migrate)
+    stats = compactor.run(budget_pages=200)
+    assert stats.blocks_created > 0
+    # created order-9 blocks may have coalesced into order-10 blocks;
+    # compare order-9 allocation *capacity* instead of block count
+    counts = buddy.free_block_counts()
+    capacity = sum((1 << (o - 9)) * n for o, n in enumerate(counts) if o >= 9)
+    assert capacity >= stats.blocks_created
+    assert stats.pages_moved <= 200
+
+
+def test_compaction_preserves_mappings_and_content():
+    frames, buddy, reg = sparse_setup()
+    # give each mapped frame distinctive content
+    for logical, frame in reg.locations.items():
+        frames.write(frame, first_nonzero=logical % 4096, tag=1000 + logical)
+    compactor = Compactor(buddy, reg.migrate)
+    compactor.run(budget_pages=500)
+    for logical, frame in reg.locations.items():
+        assert frames.allocated[frame]
+        assert frames.content_tag[frame] == 1000 + logical
+        assert frames.first_nonzero[frame] == logical % 4096
+
+
+def test_compaction_respects_budget():
+    frames, buddy, reg = sparse_setup()
+    compactor = Compactor(buddy, reg.migrate)
+    stats = compactor.run(budget_pages=15)
+    assert stats.pages_moved <= 15
+
+
+def test_unmovable_frame_abandons_chunk():
+    frames, buddy, reg = sparse_setup(num_frames=2048)
+    victim = next(iter(reg.by_frame))
+    reg.refuse.add(victim)
+    compactor = Compactor(buddy, reg.migrate)
+    stats = compactor.run(budget_pages=10_000)
+    assert stats.chunks_abandoned >= 1
+    assert frames.allocated[victim]
+
+
+def test_pinned_chunks_skipped():
+    frames, buddy, reg = sparse_setup(num_frames=2048)
+    some_frame = next(iter(reg.by_frame))
+    frames.pinned[some_frame] = True
+    compactor = Compactor(buddy, reg.migrate)
+    compactor.run(budget_pages=10_000)
+    assert frames.allocated[some_frame]
+    chunk = some_frame // PAGES_PER_HUGE
+    lo = chunk * PAGES_PER_HUGE
+    assert frames.allocated[lo:lo + PAGES_PER_HUGE].sum() >= 1
+
+
+def test_stats_merge():
+    a = CompactionStats(pages_moved=1, blocks_created=2, chunks_abandoned=3, runs=1)
+    b = CompactionStats(pages_moved=10, blocks_created=20, chunks_abandoned=30, runs=2)
+    a.merge(b)
+    assert (a.pages_moved, a.blocks_created, a.chunks_abandoned, a.runs) == (11, 22, 33, 3)
+
+
+def test_free_page_conservation():
+    frames, buddy, reg = sparse_setup()
+    before_free = buddy.free_pages
+    before_alloc = frames.allocated_count()
+    compactor = Compactor(buddy, reg.migrate)
+    compactor.run(budget_pages=300)
+    assert buddy.free_pages == before_free
+    assert frames.allocated_count() == before_alloc

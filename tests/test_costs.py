@@ -1,0 +1,56 @@
+"""Unit tests for the Table 1-calibrated cost model."""
+
+import pytest
+
+from repro.kernel.costs import CostModel
+from repro.units import BASE_PAGE_SIZE, PAGES_PER_HUGE
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    return CostModel()
+
+
+def test_base_fault_matches_table1(costs):
+    """Table 1: 3.5 µs with sync zeroing, 2.65 µs without (25 % zeroing)."""
+    assert costs.base_fault(True) == pytest.approx(3.5)
+    assert costs.base_fault(False) == pytest.approx(2.65)
+    zero_share = costs.zero_base_us / costs.base_fault(True)
+    assert zero_share == pytest.approx(0.25, abs=0.03)
+
+
+def test_huge_fault_matches_table1(costs):
+    """Table 1: 465 µs with sync zeroing, 13 µs without (97 % zeroing)."""
+    assert costs.huge_fault(True) == pytest.approx(465.0)
+    assert costs.huge_fault(False) == pytest.approx(13.0)
+    zero_share = costs.zero_huge_us / costs.huge_fault(True)
+    assert zero_share == pytest.approx(0.97, abs=0.01)
+
+
+def test_huge_fault_latency_ratio():
+    """Table 1: huge faults ~133x slower than base faults when zeroing."""
+    costs = CostModel()
+    ratio = costs.huge_fault(True) / costs.base_fault(True)
+    assert ratio == pytest.approx(133, rel=0.05)
+
+
+def test_zero_block_scales_with_order(costs):
+    assert costs.zero_block_us(0) == costs.zero_base_us
+    assert costs.zero_block_us(9) == pytest.approx(costs.zero_base_us * 512)
+
+
+def test_promotion_collapse_cost_components(costs):
+    full = costs.promotion_collapse_us(PAGES_PER_HUGE)
+    empty_ish = costs.promotion_collapse_us(1)
+    assert full == pytest.approx(costs.remap_us + 512 * costs.copy_base_us)
+    assert empty_ish == pytest.approx(
+        costs.remap_us + costs.copy_base_us + 511 * costs.zero_base_us
+    )
+
+
+def test_scan_costs(costs):
+    assert costs.scan_page_us(10) == pytest.approx(10 * costs.scan_byte_us)
+    assert costs.scan_full_page_us() == pytest.approx(BASE_PAGE_SIZE * costs.scan_byte_us)
+    # §3.2: scanning an average in-use page (~10 bytes) is ~400x cheaper
+    # than scanning a full zero page.
+    assert costs.scan_full_page_us() / costs.scan_page_us(10) > 100

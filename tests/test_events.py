@@ -1,0 +1,75 @@
+"""Unit tests for the kernel event log."""
+
+import pytest
+
+from repro.metrics.events import Event, EventKind, EventLog
+from repro.units import PAGES_PER_HUGE
+from tests.test_fault import make_proc
+
+
+@pytest.fixture
+def traced(kernel_thp):
+    return kernel_thp, EventLog().attach(kernel_thp)
+
+
+def test_promotions_and_demotions_traced(traced):
+    kernel, log = traced
+    proc, vma = make_proc(kernel)
+    kernel.fault(proc, vma.start)
+    hvpn = vma.start >> 9
+    kernel.demote_region(proc, hvpn)
+    kernel.promote_region(proc, hvpn)
+    assert len(log.of_kind(EventKind.DEMOTION)) == 1
+    assert len(log.of_kind(EventKind.PROMOTION)) == 1
+    promo = log.of_kind(EventKind.PROMOTION)[0]
+    assert promo.process == proc.name
+    assert promo.hvpn == hvpn
+
+
+def test_failed_promotion_not_traced(traced):
+    kernel, log = traced
+    proc, vma = make_proc(kernel)
+    assert kernel.promote_region(proc, vma.start >> 9) is None  # nothing resident
+    assert len(log.of_kind(EventKind.PROMOTION)) == 0
+
+
+def test_madvise_traced(traced):
+    kernel, log = traced
+    proc, vma = make_proc(kernel)
+    kernel.fault(proc, vma.start)
+    kernel.madvise_free(proc, vma.start, 10)
+    events = log.of_kind(EventKind.MADVISE_FREE)
+    assert len(events) == 1
+    assert "pages=10" in events[0].detail
+
+
+def test_queries(traced):
+    kernel, log = traced
+    a, vma_a = make_proc(kernel)
+    a.name = "a"
+    b, vma_b = make_proc(kernel)
+    b.name = "b"
+    for proc, vma in ((a, vma_a), (b, vma_b)):
+        kernel.fault(proc, vma.start)
+        kernel.demote_region(proc, vma.start >> 9)
+        kernel.promote_region(proc, vma.start >> 9)
+    kernel.promote_region(a, vma_a.start >> 9)  # fails (already huge)
+    assert log.promotions_by_process() == {"a": 1, "b": 1}
+    assert all(e.process == "a" for e in log.for_process("a"))
+    assert len(log.between(0.0, 1e9)) == len(log)
+
+
+def test_timeline_buckets():
+    log = EventLog()
+    for t in (0.0, 10.0, 31.0, 61.0):
+        log.events.append(Event(t, EventKind.PROMOTION, "p"))
+    assert log.timeline(EventKind.PROMOTION, bucket_seconds=30.0) == {
+        0.0: 2, 30.0: 1, 60.0: 1,
+    }
+
+
+def test_capacity_bounded(kernel4k):
+    log = EventLog(capacity=2)
+    for _ in range(5):
+        log.record(kernel4k, EventKind.OOM, "x")
+    assert len(log) == 2

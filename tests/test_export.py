@@ -1,0 +1,59 @@
+"""Tests for metric export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.metrics.events import Event, EventKind, EventLog
+from repro.metrics.export import (
+    events_to_csv,
+    events_to_json,
+    series_to_csv,
+    series_to_dict,
+    snapshot_to_json,
+)
+from repro.metrics.series import SeriesRecorder, TimeSeries
+from tests.conftest import spawn_simple
+
+
+def test_series_csv_round_trip(kernel4k):
+    rec = SeriesRecorder(kernel4k)
+    rec.probe("rss", lambda k: sum(p.rss_pages() for p in k.processes))
+    rec.probe("free", lambda k: k.buddy.free_pages)
+    spawn_simple(kernel4k, heap_mb=4, work_s=2.0)
+    kernel4k.run_epochs(4)
+    rows = list(csv.DictReader(io.StringIO(series_to_csv(rec))))
+    assert len(rows) == 4
+    assert float(rows[-1]["rss"]) == 1024.0
+    assert {"t_seconds", "rss", "free"} == set(rows[0])
+
+
+def test_series_csv_empty_recorder(kernel4k):
+    rec = SeriesRecorder(kernel4k)
+    assert series_to_csv(rec) == "t_seconds\n"
+
+
+def test_series_to_dict():
+    ts = TimeSeries("x")
+    ts.append(1.0, 2.0)
+    assert series_to_dict(ts) == {"name": "x", "times": [1.0], "values": [2.0]}
+
+
+def test_events_json_and_csv():
+    log = EventLog()
+    log.events.append(Event(1.5, EventKind.PROMOTION, "p", 42, "cost=25us"))
+    log.events.append(Event(2.0, EventKind.OOM, "q"))
+    parsed = json.loads(events_to_json(log))
+    assert parsed[0] == {"t_seconds": 1.5, "kind": "promotion",
+                         "process": "p", "hvpn": 42, "detail": "cost=25us"}
+    rows = list(csv.DictReader(io.StringIO(events_to_csv(log))))
+    assert rows[1]["kind"] == "oom"
+    assert rows[1]["hvpn"] == ""
+
+
+def test_snapshot_json(kernel_thp):
+    doc = json.loads(snapshot_to_json(kernel_thp))
+    assert doc["meminfo_kb"]["MemTotal"] > 0
+    assert "pgfault" in doc["vmstat"]

@@ -1,0 +1,86 @@
+"""Unit tests for FMFI and the controlled fragmenter."""
+
+import pytest
+
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import Fragmenter, fmfi
+from repro.mem.frames import FrameTable
+
+
+def make(num_frames=8192):
+    frames = FrameTable(num_frames)
+    buddy = BuddyAllocator(frames)
+    return frames, buddy, Fragmenter(buddy)
+
+
+def test_fmfi_zero_when_pristine():
+    _, buddy, _ = make()
+    assert fmfi(buddy) == 0.0
+
+
+def test_fmfi_one_when_memory_exhausted():
+    _, buddy, _ = make(1024)
+    buddy.alloc(order=10)
+    assert fmfi(buddy) == 1.0
+
+
+def test_fmfi_rises_with_fragmentation():
+    _, buddy, frag = make()
+    low = fmfi(buddy)
+    frag.fragment(keep_fraction=0.05)
+    assert fmfi(buddy) > low
+    assert fmfi(buddy) > 0.9, "scattered 5% residue should break all order-9 blocks"
+
+
+def test_fragment_keeps_requested_fraction():
+    _, buddy, frag = make(8192)
+    frag.fragment(keep_fraction=0.1)
+    assert frag.cache_pages == pytest.approx(8192 * 0.1, rel=0.05)
+    assert buddy.allocated_pages == frag.cache_pages
+
+
+def test_fragment_with_target_fmfi_stops_early():
+    # keep_fraction 0 would normally release everything (FMFI back to 0);
+    # the target makes the fragmenter stop while still fragmented.
+    _, buddy, frag = make(8192)
+    result = frag.fragment(keep_fraction=0.0, target_fmfi=0.6)
+    assert result <= 0.6
+    assert frag.cache_pages > 0, "early stop retains extra pages in the cache"
+
+
+def test_reclaim_frees_cache_pages():
+    _, buddy, frag = make()
+    frag.fragment(keep_fraction=0.2)
+    held = frag.cache_pages
+    freed = frag.reclaim(100)
+    assert freed == 100
+    assert frag.cache_pages == held - 100
+    assert buddy.free_pages == 8192 - held + 100
+
+
+def test_reclaim_bounded_by_cache():
+    _, buddy, frag = make(1024)
+    frag.fragment(keep_fraction=0.01)
+    held = frag.cache_pages
+    freed = frag.reclaim(10_000)
+    assert freed == held
+    assert frag.cache_pages == 0
+    assert buddy.free_pages == 1024
+
+
+def test_release_all_restores_memory():
+    _, buddy, frag = make()
+    frag.fragment(keep_fraction=0.3)
+    frag.release_all()
+    assert buddy.free_pages == 8192
+    assert fmfi(buddy) == 0.0, "coalescing must fully rebuild order-9 blocks"
+
+
+def test_migrate_page_moves_cache_entry():
+    _, buddy, frag = make(1024)
+    frag.fragment(keep_fraction=0.1)
+    victim = next(iter(frag._cache_pages))
+    assert frag.migrate_page(victim, 999_999) is True
+    assert victim not in frag._cache_pages
+    assert 999_999 in frag._cache_pages
+    assert frag.migrate_page(victim, 5) is False

@@ -1,0 +1,95 @@
+"""Unit tests for the frame table and its content model."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem.frames import NO_OWNER, ZERO_TAG, FrameTable
+from repro.units import BASE_PAGE_SIZE
+
+
+@pytest.fixture
+def ft() -> FrameTable:
+    return FrameTable(1024)
+
+
+def test_initial_state_is_zeroed_and_free(ft):
+    assert ft.num_frames == 1024
+    assert not ft.allocated.any()
+    assert ft.is_zero(0) and ft.is_zero(1023)
+    assert (ft.content_tag == ZERO_TAG).all()
+
+
+def test_rejects_empty_table():
+    with pytest.raises(AllocationError):
+        FrameTable(0)
+
+
+def test_write_marks_nonzero_with_fresh_tag(ft):
+    ft.write(5, first_nonzero=17)
+    assert not ft.is_zero(5)
+    assert ft.first_nonzero[5] == 17
+    assert ft.content_tag[5] != ZERO_TAG
+    ft.write(6, first_nonzero=17)
+    assert ft.content_tag[5] != ft.content_tag[6], "tags must be unique by default"
+
+
+def test_write_with_shared_tag(ft):
+    ft.write(1, first_nonzero=0, tag=42)
+    ft.write(2, first_nonzero=0, tag=42)
+    assert ft.content_tag[1] == ft.content_tag[2] == 42
+
+
+def test_write_rejects_out_of_page_offset(ft):
+    with pytest.raises(ValueError):
+        ft.write(0, first_nonzero=BASE_PAGE_SIZE)
+    with pytest.raises(ValueError):
+        ft.write(0, first_nonzero=-1)
+
+
+def test_write_zero_resets_content(ft):
+    ft.write(3)
+    ft.write_zero(3)
+    assert ft.is_zero(3)
+    assert ft.content_tag[3] == ZERO_TAG
+
+
+def test_zero_fill_range(ft):
+    for frame in range(10, 20):
+        ft.write(frame)
+    ft.zero_fill(10, 5)
+    assert ft.zero_mask(10, 10).tolist() == [True] * 5 + [False] * 5
+
+
+def test_scan_cost_stops_at_first_nonzero_byte(ft):
+    """Paper §3.2: in-use pages cost ~first_nonzero+1 bytes to classify."""
+    ft.write(0, first_nonzero=9)
+    assert ft.scan_cost_bytes(0) == 10
+    ft.write(1, first_nonzero=0)
+    assert ft.scan_cost_bytes(1) == 1
+
+
+def test_scan_cost_full_page_for_zero_pages(ft):
+    assert ft.scan_cost_bytes(2) == BASE_PAGE_SIZE
+
+
+def test_allocation_bookkeeping(ft):
+    ft.mark_allocated(100, 4, owner=7)
+    assert ft.allocated[100:104].all()
+    assert (ft.owner[100:104] == 7).all()
+    assert ft.allocated_count() == 4
+    ft.mark_free(100, 4)
+    assert not ft.allocated[100:104].any()
+    assert (ft.owner[100:104] == NO_OWNER).all()
+
+
+def test_mark_free_clears_pins(ft):
+    ft.mark_allocated(0, 1)
+    ft.pinned[0] = True
+    ft.mark_free(0, 1)
+    assert not ft.pinned[0]
+
+
+def test_fresh_tags_monotonic(ft):
+    tags = {ft.fresh_tag() for _ in range(100)}
+    assert len(tags) == 100
+    assert ZERO_TAG not in tags

@@ -1,0 +1,80 @@
+"""Integration tests: multi-process fairness (Figures 7 and 8 shapes)."""
+
+import pytest
+
+from repro.experiments import Scale, fragment, make_kernel
+from repro.units import GB, SEC
+from repro.workloads.compute import ComputeWorkload
+from repro.workloads.redis import RedisLight
+
+SCALE = Scale(1 / 256)
+
+
+def tlb_sensitive(name="sens", work_s=300.0):
+    return ComputeWorkload(
+        name, footprint_bytes=8 * GB, work_us=work_s * SEC,
+        access_rate=12.0, hot_start=0.5, hot_len=0.5, scale=SCALE.factor,
+    )
+
+
+def run_identical_instances(policy, n=3):
+    kernel = make_kernel(96 * GB, policy, SCALE)
+    fragment(kernel)
+    runs = [kernel.spawn(tlb_sensitive(f"inst-{i}")) for i in range(n)]
+    kernel.run_epochs(120)
+    return kernel, runs
+
+
+class TestIdenticalWorkloads:
+    """Figure 7: Linux promotes one process at a time; HawkEye spreads."""
+
+    def promotion_spread(self, kernel, runs):
+        counts = [run.proc.stats.promotions for run in runs]
+        return counts
+
+    def test_linux_serial_imbalance(self):
+        kernel, runs = run_identical_instances("linux-2mb")
+        counts = self.promotion_spread(kernel, runs)
+        assert max(counts) > 0
+        # FCFS: the first process hoards the early promotions
+        assert counts[0] >= max(counts[1:]) and counts[0] > min(counts[1:])
+
+    def test_hawkeye_balanced(self):
+        kernel, runs = run_identical_instances("hawkeye-g")
+        counts = self.promotion_spread(kernel, runs)
+        assert max(counts) > 0
+        assert max(counts) - min(counts) <= max(2, max(counts) // 3)
+
+
+class TestHeterogeneousWorkloads:
+    """Figure 8: a lightly-loaded Redis must not soak up huge pages."""
+
+    def run_pair(self, policy, redis_first):
+        kernel = make_kernel(96 * GB, policy, SCALE)
+        fragment(kernel)
+        redis = RedisLight(scale=SCALE.factor, serve_us=500 * SEC,
+                           insert_rate_pages_per_sec=5e6)
+        sens = tlb_sensitive(work_s=250.0)
+        if redis_first:
+            r1, r2 = kernel.spawn(redis), kernel.spawn(sens)
+        else:
+            r2, r1 = kernel.spawn(sens), kernel.spawn(redis)
+        kernel.run_epochs(400)
+        return kernel, r1, r2
+
+    def test_linux_order_dependence(self):
+        """Linux's FCFS khugepaged serves whoever launched first."""
+        _, _, sens_after = self.run_pair("linux-2mb", redis_first=True)
+        _, _, sens_before = self.run_pair("linux-2mb", redis_first=False)
+        assert (
+            sens_before.proc.stats.promotions
+            > sens_after.proc.stats.promotions
+        )
+
+    @pytest.mark.parametrize("redis_first", [True, False])
+    def test_hawkeye_pmu_order_independent(self, redis_first):
+        kernel, redis_run, sens_run = self.run_pair("hawkeye-pmu", redis_first)
+        # the TLB-sensitive process gets its hot regions promoted and its
+        # overhead driven down, regardless of launch order
+        assert sens_run.proc.stats.promotions > 0
+        assert sens_run.proc.mmu_overhead < 0.05

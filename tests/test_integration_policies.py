@@ -1,0 +1,122 @@
+"""Integration tests: end-to-end policy behaviour at small scale.
+
+These lock in the paper's qualitative results — who wins, in which
+scenario — as regression tests.  Exact magnitudes live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import Scale, fragment, make_kernel
+from repro.patterns import Pattern
+from repro.units import GB, SEC
+from repro.workloads.base import (
+    AccessProfile,
+    MmapOp,
+    Phase,
+    RegionAccessSpec,
+    TouchOp,
+    Workload,
+)
+from repro.workloads.compute import ComputeWorkload
+from repro.workloads.microbench import AllocTouchFree
+
+SCALE = Scale(1 / 256)
+
+
+def finish(kernel, run, max_epochs=4000):
+    kernel.run(max_epochs=max_epochs)
+    assert run.finished, f"did not finish under {kernel.policy.name}"
+    return run.elapsed_us
+
+
+def high_va_workload(work_s=400.0):
+    """TLB-hungry workload with its hot region in high VAs (Figure 6)."""
+    return ComputeWorkload(
+        "hot-high", footprint_bytes=12 * GB, work_us=work_s * SEC,
+        access_rate=10.0, hot_start=0.6, hot_len=0.4, scale=SCALE.factor,
+    )
+
+
+class TestFaultBoundWorkloads:
+    """Table 1's shape: THP slashes fault counts; Ingens does not."""
+
+    def test_fault_counts(self):
+        results = {}
+        for policy in ("linux-4kb", "linux-2mb", "ingens-90", "hawkeye-g"):
+            kernel = make_kernel(16 * GB, policy, SCALE)
+            run = kernel.spawn(AllocTouchFree(10 * GB, rounds=2, scale=SCALE.factor))
+            finish(kernel, run)
+            results[policy] = run.proc.stats
+        base_faults = results["linux-4kb"].faults
+        assert results["linux-2mb"].faults == base_faults // 512
+        assert results["ingens-90"].faults == base_faults
+        assert results["hawkeye-g"].faults == base_faults // 512
+
+    def test_hawkeye_huge_faults_cheap(self):
+        kernel_linux = make_kernel(16 * GB, "linux-2mb", SCALE, boot_zeroed=False)
+        kernel_hawk = make_kernel(16 * GB, "hawkeye-g", SCALE, boot_zeroed=False)
+        kernel_hawk.run_epochs(60)  # pre-zero warm-up
+        wl = lambda: AllocTouchFree(10 * GB, rounds=1, scale=SCALE.factor)
+        run_l = kernel_linux.spawn(wl())
+        finish(kernel_linux, run_l)
+        run_h = kernel_hawk.spawn(wl())
+        finish(kernel_hawk, run_h)
+        avg_linux = run_l.proc.stats.fault_time_us / run_l.proc.stats.faults
+        avg_hawk = run_h.proc.stats.fault_time_us / run_h.proc.stats.faults
+        assert avg_linux == pytest.approx(465, rel=0.05)
+        assert avg_hawk == pytest.approx(13, rel=0.3)
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def _run_fragmented(policy):
+    kernel = make_kernel(48 * GB, policy, SCALE)
+    fragment(kernel)
+    run = kernel.spawn(high_va_workload())
+    kernel.run(max_epochs=3000)
+    return run
+
+
+class TestFragmentedRecovery:
+    """Figure 5/6 shape: after fragmentation, HawkEye recovers MMU
+    overheads faster than VA-order scanners for high-VA hot spots."""
+
+    def run_policy(self, policy):
+        return _run_fragmented(policy)
+
+    def test_hawkeye_faster_than_linux(self):
+        linux = self.run_policy("linux-2mb")
+        hawkeye = self.run_policy("hawkeye-g")
+        assert hawkeye.finished and linux.finished
+        assert hawkeye.elapsed_us < linux.elapsed_us
+
+    def test_time_saved_per_promotion_better(self):
+        """Figure 5 (right): HawkEye needs fewer promotions per second
+        of execution time saved."""
+        baseline = self.run_policy("linux-4kb")
+        linux = self.run_policy("linux-2mb")
+        hawkeye = self.run_policy("hawkeye-g")
+        saved_linux = baseline.elapsed_us - linux.elapsed_us
+        saved_hawk = baseline.elapsed_us - hawkeye.elapsed_us
+        eff_linux = saved_linux / max(linux.proc.stats.promotions, 1)
+        eff_hawk = saved_hawk / max(hawkeye.proc.stats.promotions, 1)
+        assert eff_hawk > eff_linux
+
+
+class TestUniformWorkloadsParity:
+    """§4: for uniformly-hot workloads HawkEye ≈ Linux (no regression)."""
+
+    def test_parity(self):
+        times = {}
+        for policy in ("linux-2mb", "hawkeye-g"):
+            kernel = make_kernel(16 * GB, policy, SCALE)
+            wl = ComputeWorkload(
+                "uniform", footprint_bytes=8 * GB, work_us=120 * SEC,
+                access_rate=10.0, scale=SCALE.factor,
+            )
+            run = kernel.spawn(wl)
+            times[policy] = finish(kernel, run)
+        ratio = times["hawkeye-g"] / times["linux-2mb"]
+        assert ratio == pytest.approx(1.0, abs=0.1)

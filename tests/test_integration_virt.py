@@ -1,0 +1,77 @@
+"""Integration tests: virtualised configurations (Figures 9 and 11 shapes)."""
+
+import pytest
+
+from repro.experiments import Scale, make_hypervisor, make_vm
+from repro.units import GB, SEC
+from repro.workloads.base import ContentSpec, FreeOp, MmapOp, Phase, TouchOp, Workload
+from repro.workloads.npb import NPBWorkload
+
+SCALE = Scale(1 / 128)
+
+
+def run_config(host_policy, guest_policy, work_s=200.0):
+    hyp = make_hypervisor(96 * GB, host_policy, SCALE)
+    hyp.host.fragmenter.fragment(keep_fraction=0.05)
+    vm = make_vm(hyp, "vm1", 48 * GB, guest_policy, SCALE)
+    vm.guest.fragmenter.fragment(keep_fraction=0.05)
+    run = vm.spawn(NPBWorkload("cg.D", scale=SCALE.factor, work_us=work_s * SEC))
+    hyp.run(max_epochs=4000)
+    assert run.finished
+    return run.elapsed_us
+
+
+class TestFigure9Shape:
+    def test_hawkeye_guest_beats_linux(self):
+        linux = run_config("linux-2mb", "linux-2mb")
+        hawk_guest = run_config("linux-2mb", "hawkeye-g")
+        assert hawk_guest < linux
+
+    def test_hawkeye_both_at_least_as_good_as_guest_only(self):
+        hawk_guest = run_config("linux-2mb", "hawkeye-g")
+        hawk_both = run_config("hawkeye-g", "hawkeye-g")
+        assert hawk_both <= hawk_guest * 1.1
+
+
+class ChurnGuest(Workload):
+    """Guest that allocates, frees, then idles (free memory for sharing)."""
+
+    name = "churn"
+
+    def __init__(self, nbytes, hold_s=400.0):
+        self.nbytes = nbytes
+        self.hold_s = hold_s
+
+    def build_phases(self):
+        return [
+            Phase("alloc", ops=[
+                MmapOp("heap", self.nbytes),
+                TouchOp("heap", content=ContentSpec(first_nonzero=0)),
+                FreeOp("heap"),
+            ]),
+            Phase("idle", duration_us=self.hold_s * SEC),
+        ]
+
+
+class TestFigure11Channel:
+    """Pre-zeroing + KSM returns guest-freed memory like a balloon."""
+
+    def _freed_to_host(self, guest_policy, balloon):
+        hyp = make_hypervisor(96 * GB, "linux-2mb", SCALE)
+        vm = make_vm(hyp, "vm1", 24 * GB, guest_policy, SCALE)
+        hyp.enable_ksm(pages_per_sec=SCALE.rate(1e6))
+        if balloon:
+            hyp.enable_ballooning(pages_per_sec=SCALE.rate(1e6))
+        if guest_policy.startswith("hawkeye"):
+            vm.guest.policy.prezero._limiter.per_second = SCALE.rate(1e6)
+        vm.spawn(ChurnGuest(SCALE.bytes(12 * GB), hold_s=120.0))
+        hyp.run(max_epochs=400)
+        return vm.host_proc.rss_pages()
+
+    def test_hawkeye_ksm_matches_ballooning(self):
+        transparent = self._freed_to_host("hawkeye-g", balloon=False)
+        ballooned = self._freed_to_host("linux-2mb", balloon=True)
+        no_help = self._freed_to_host("linux-2mb", balloon=False)
+        # the transparent channel recovers most of what ballooning does
+        assert transparent < 0.4 * no_help
+        assert transparent <= ballooned + 0.2 * no_help

@@ -1,0 +1,52 @@
+"""Unit tests for the background-thread rate limiter."""
+
+import pytest
+
+from repro.kernel.kthread import RateLimiter
+from repro.units import SEC
+
+
+def test_per_epoch_budget():
+    limiter = RateLimiter(per_second=100.0, epoch_us=SEC)
+    assert limiter.per_epoch == 100.0
+    limiter.refill()
+    assert limiter.available == 100.0
+
+
+def test_take_consumes_tokens():
+    limiter = RateLimiter(10.0)
+    limiter.refill()
+    for _ in range(10):
+        assert limiter.take()
+    assert not limiter.take()
+
+
+def test_carryover_capped_at_two_epochs():
+    limiter = RateLimiter(10.0)
+    for _ in range(5):
+        limiter.refill()
+    assert limiter.available == 20.0
+
+
+def test_fractional_rates_accumulate():
+    """Scaled experiments use sub-1/epoch rates; they must still fire."""
+    limiter = RateLimiter(0.2)
+    fired = 0
+    for _ in range(50):
+        limiter.refill()
+        while limiter.take():
+            fired += 1
+    assert fired == pytest.approx(10, abs=2)
+
+
+def test_bulk_take():
+    limiter = RateLimiter(512.0)
+    limiter.refill()
+    assert limiter.take(512)
+    assert not limiter.take(1)
+
+
+def test_sub_second_epochs_scale_budget():
+    limiter = RateLimiter(100.0, epoch_us=SEC / 10)
+    limiter.refill()
+    assert limiter.available == pytest.approx(10.0)

@@ -1,0 +1,60 @@
+"""Unit tests for huge-page limits (§3.5 starvation extension)."""
+
+import pytest
+
+from repro.core.hawkeye import HawkEyePolicy
+from repro.core.limits import HugePageLimits
+from repro.kernel.kernel import Kernel
+from repro.units import MB, PAGES_PER_HUGE
+from repro.vm.process import Process
+from tests.conftest import small_config
+from tests.test_fault import make_proc
+
+
+def test_exact_and_prefix_limits():
+    limits = HugePageLimits({"redis": 4, "batch-*": 2})
+    redis = Process("redis")
+    batch = Process("batch-7")
+    other = Process("other")
+    assert limits.limit_for(redis) == 4
+    assert limits.limit_for(batch) == 2
+    assert limits.limit_for(other) is None
+
+
+def test_negative_cap_rejected():
+    with pytest.raises(ValueError):
+        HugePageLimits({"x": -1})
+
+
+def test_may_promote_counts_held_pages():
+    limits = HugePageLimits({"p": 2})
+    proc = Process("p")
+    assert limits.may_promote(proc)
+    proc.page_table.map_huge(1, 512)
+    proc.page_table.map_huge(2, 1024)
+    assert not limits.may_promote(proc)
+    assert limits.refusals == 1
+
+
+def test_exact_beats_prefix():
+    limits = HugePageLimits({"svc-*": 1, "svc-db": 10})
+    assert limits.limit_for(Process("svc-db")) == 10
+    assert limits.limit_for(Process("svc-web")) == 1
+
+
+def test_hawkeye_fault_path_respects_limit():
+    kernel = Kernel(
+        small_config(64),
+        lambda k: HawkEyePolicy(k, variant="g", huge_page_limits={"t": 1}),
+    )
+    proc, vma = make_proc(kernel, nbytes=8 * MB)
+    kernel.fault(proc, vma.start)  # first region: huge allowed
+    assert proc.stats.huge_faults == 1
+    kernel.fault(proc, vma.start + PAGES_PER_HUGE)  # cap reached: base
+    assert proc.stats.huge_faults == 1
+    assert kernel.policy.limits.refusals >= 1
+
+
+def test_unlimited_by_default():
+    kernel = Kernel(small_config(64), lambda k: HawkEyePolicy(k, variant="g"))
+    assert kernel.policy.limits is None

@@ -1,0 +1,70 @@
+"""Unit tests for series recording and table formatting."""
+
+import pytest
+
+from repro.metrics.series import SeriesRecorder, TimeSeries
+from repro.metrics.tables import format_table
+from tests.conftest import spawn_simple
+
+
+class TestTimeSeries:
+    def test_append_and_aggregates(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 5.0), (2, 3.0)]:
+            ts.append(t, v)
+        assert ts.last() == 3.0
+        assert ts.max() == 5.0
+        assert ts.min() == 1.0
+        assert len(ts) == 3
+
+    def test_at_returns_latest_not_after(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (10, 2.0), (20, 3.0)]:
+            ts.append(t, v)
+        assert ts.at(5) == 1.0
+        assert ts.at(10) == 2.0
+        assert ts.at(100) == 3.0
+
+    def test_empty_series(self):
+        ts = TimeSeries("x")
+        assert ts.last() == 0.0
+        assert ts.max() == 0.0
+
+
+class TestSeriesRecorder:
+    def test_probes_sampled_each_epoch(self, kernel_hawkeye):
+        rec = SeriesRecorder(kernel_hawkeye)
+        rec.probe("rss", lambda k: sum(p.rss_pages() for p in k.processes))
+        rec.probe("free", lambda k: k.buddy.free_pages)
+        spawn_simple(kernel_hawkeye, heap_mb=4, work_s=3.0)
+        kernel_hawkeye.run_epochs(5)
+        assert len(rec["rss"]) == 5
+        assert rec["rss"].last() == 1024
+        # 1024 workload pages + the reserved canonical zero frame
+        assert rec["free"].last() == 16 * 1024 - 1024 - 1
+
+    def test_sampling_interval(self, kernel4k):
+        rec = SeriesRecorder(kernel4k, every_epochs=2)
+        rec.probe("epochs", lambda k: k.stats.epochs)
+        kernel4k.run_epochs(6)
+        assert len(rec["epochs"]) == 3
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 123456.0]],
+            title="Table X",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table X"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "123,456" in lines[4]
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.123456], [12.3456], [0.0]])
+        assert "0.123" in out
+        assert "12.3" in out

@@ -1,0 +1,113 @@
+"""Unit tests for the per-epoch MMU overhead model.
+
+Includes the calibration checks that tie the model to the paper's
+measurements (Table 3, Table 9).
+"""
+
+import pytest
+
+from repro.patterns import Pattern
+from repro.tlb.mmu_model import MMUEpoch, MMUModel, RegionLoad
+from repro.tlb.perf import PMUCounters
+
+
+@pytest.fixture
+def model() -> MMUModel:
+    return MMUModel()
+
+
+def load(touched=100, coverage=512, promoted=0.0, weight=1.0,
+         pattern=Pattern.RANDOM, stride=8):
+    return RegionLoad(touched, coverage, promoted, weight, pattern, stride)
+
+
+def test_empty_loads_no_overhead(model):
+    assert model.epoch([], access_rate=10.0).overhead == 0.0
+    assert model.epoch([load()], access_rate=0.0).overhead == 0.0
+
+
+def test_overhead_bounded(model):
+    epoch = model.epoch([load(touched=10_000)], access_rate=1000.0)
+    assert 0.0 < epoch.overhead < 1.0
+
+
+def test_promotion_eliminates_overhead(model):
+    """Fully-promoted working sets that fit the 2M TLB walk for free."""
+    base = model.epoch([load(touched=100, promoted=0.0)], access_rate=30.0)
+    huge = model.epoch([load(touched=100, promoted=1.0)], access_rate=30.0)
+    assert base.overhead > 0.2
+    assert huge.overhead == 0.0
+
+
+def test_partial_promotion_interpolates(model):
+    o = [
+        model.epoch([load(touched=200, promoted=p)], access_rate=30.0).overhead
+        for p in (0.0, 0.5, 1.0)
+    ]
+    assert o[0] > o[1] > o[2]
+
+
+def test_sequential_pattern_negligible_overhead(model):
+    """Table 9: identical coverage, sequential => <1% overhead."""
+    random = model.epoch([load(touched=500)], access_rate=74.0)
+    seq = model.epoch(
+        [load(touched=500, pattern=Pattern.SEQUENTIAL)], access_rate=74.0
+    )
+    assert random.overhead > 0.5          # paper: 60 %
+    assert seq.overhead < 0.01            # paper: < 1 %
+
+
+def test_cg_d_calibration(model):
+    """Table 3: cg.D ≈ 39 % at 4 KiB, ≈ 0 at 2 MiB."""
+    cg = [load(touched=3800, coverage=512)]
+    o4k = model.epoch(cg, access_rate=32.0).overhead
+    assert o4k == pytest.approx(0.39, abs=0.05)
+    o2m = model.epoch([load(touched=3800, promoted=1.0)], access_rate=32.0).overhead
+    assert o2m < 0.05
+
+
+def test_mg_d_calibration(model):
+    """Table 3: mg.D ≈ 1 % at 4 KiB despite the larger working set."""
+    mg = [load(touched=12000, coverage=512, pattern=Pattern.STRIDED)]
+    o4k = model.epoch(mg, access_rate=1.1).overhead
+    assert o4k == pytest.approx(0.0104, abs=0.006)
+
+
+def test_wss_is_poor_overhead_predictor(model):
+    """§2.4's headline: bigger WSS (mg.D) can mean far less overhead."""
+    cg = model.epoch([load(touched=3800)], access_rate=32.0).overhead
+    mg = model.epoch(
+        [load(touched=12000, pattern=Pattern.STRIDED)], access_rate=1.1
+    ).overhead
+    assert mg < cg / 10
+
+
+def test_nested_walks_amplify_overhead(model):
+    loads = [load(touched=3800)]
+    native = model.epoch(loads, access_rate=32.0).overhead
+    nested = model.epoch(loads, access_rate=32.0, host_huge_fraction=0.0).overhead
+    assert nested > native
+    nested_2m_host = model.epoch(loads, access_rate=32.0, host_huge_fraction=1.0).overhead
+    assert native < nested_2m_host < nested
+
+
+def test_charge_feeds_pmu(model):
+    epoch = model.epoch([load(touched=3800)], access_rate=32.0)
+    pmu = PMUCounters()
+    walk, total = epoch.charge(pmu, useful_us=1000.0)
+    assert walk > 0 and total > walk
+    assert pmu.read_overhead() == pytest.approx(epoch.overhead, rel=1e-6)
+
+
+def test_tlb_miss_rate_reported(model):
+    epoch = model.epoch([load(touched=3800)], access_rate=32.0)
+    assert 0.0 < epoch.tlb_miss_rate <= 1.0
+
+
+def test_weights_split_accesses(model):
+    full = model.epoch([load(touched=3800, weight=1.0)], access_rate=32.0)
+    halves = model.epoch(
+        [load(touched=1900, weight=0.5), load(touched=1900, weight=0.5)],
+        access_rate=32.0,
+    )
+    assert halves.overhead == pytest.approx(full.overhead, rel=0.05)

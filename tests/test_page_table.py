@@ -1,0 +1,89 @@
+"""Unit tests for the two-granularity page table."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.units import PAGES_PER_HUGE
+from repro.vm.page_table import PageTable
+
+
+@pytest.fixture
+def pt() -> PageTable:
+    return PageTable()
+
+
+def test_base_map_translate_unmap(pt):
+    pt.map_base(1000, 77)
+    assert pt.translate(1000) == (77, False)
+    assert pt.is_mapped(1000)
+    pte = pt.unmap_base(1000)
+    assert pte.frame == 77
+    assert pt.translate(1000) is None
+
+
+def test_double_map_rejected(pt):
+    pt.map_base(5, 1)
+    with pytest.raises(InvalidAddressError):
+        pt.map_base(5, 2)
+
+
+def test_huge_map_translates_interior_pages(pt):
+    pt.map_huge(2, 4096)  # covers vpns 1024..1535
+    assert pt.translate(1024) == (4096, True)
+    assert pt.translate(1100) == (4096 + 76, True)
+    assert pt.is_mapped(1535)
+    assert pt.translate(1536) is None
+
+
+def test_base_inside_huge_rejected(pt):
+    pt.map_huge(0, 0)
+    with pytest.raises(InvalidAddressError):
+        pt.map_base(10, 5)
+
+
+def test_huge_double_map_rejected(pt):
+    pt.map_huge(3, 512)
+    with pytest.raises(InvalidAddressError):
+        pt.map_huge(3, 1024)
+
+
+def test_unmap_missing_raises(pt):
+    with pytest.raises(InvalidAddressError):
+        pt.unmap_base(9)
+    with pytest.raises(InvalidAddressError):
+        pt.unmap_huge(9)
+
+
+def test_demote_creates_512_contiguous_base_ptes(pt):
+    huge = pt.map_huge(4, 8192)
+    huge.accessed = True
+    created = pt.demote_huge(4)
+    assert len(created) == PAGES_PER_HUGE
+    assert 4 not in pt.huge
+    vpn0 = 4 << 9
+    assert pt.translate(vpn0) == (8192, False)
+    assert pt.translate(vpn0 + 511) == (8192 + 511, False)
+    assert all(pte.accessed for _, pte in created), "access bit propagates"
+
+
+def test_region_base_vpns(pt):
+    vpn0 = 2 << 9
+    for i in (0, 5, 511):
+        pt.map_base(vpn0 + i, 100 + i)
+    assert pt.region_base_vpns(2) == [vpn0, vpn0 + 5, vpn0 + 511]
+    assert pt.region_base_vpns(3) == []
+
+
+def test_resident_excludes_shared_zero(pt):
+    pt.map_base(0, 1)
+    pt.map_base(1, 99, shared_zero=True)
+    pt.map_huge(10, 512)
+    assert pt.shared_zero_count == 1
+    assert pt.resident_pages() == 1 + PAGES_PER_HUGE
+    assert pt.huge_mapped_pages() == PAGES_PER_HUGE
+
+
+def test_unmap_shared_zero_updates_count(pt):
+    pt.map_base(1, 99, shared_zero=True)
+    pt.unmap_base(1)
+    assert pt.shared_zero_count == 0

@@ -1,0 +1,39 @@
+"""Unit tests for the emulated performance counters (Table 4)."""
+
+import pytest
+
+from repro.tlb.perf import LOAD_FRACTION, PMUCounters
+
+
+def test_table4_formula():
+    """MMU overhead = (C1 + C2) / C3."""
+    pmu = PMUCounters()
+    pmu.record(walk_cycles=300.0, total_cycles=1000.0)
+    assert pmu.read_overhead() == pytest.approx(0.3)
+    assert pmu.dtlb_load_walk_duration == pytest.approx(300 * LOAD_FRACTION)
+    assert pmu.dtlb_store_walk_duration == pytest.approx(300 * (1 - LOAD_FRACTION))
+
+
+def test_zero_cycles_reads_zero():
+    assert PMUCounters().read_overhead() == 0.0
+
+
+def test_interval_sampling():
+    pmu = PMUCounters()
+    pmu.record(100.0, 1000.0)
+    assert pmu.sample() == pytest.approx(0.1)
+    # quiet interval
+    pmu.record(0.0, 1000.0)
+    assert pmu.sample() == pytest.approx(0.0)
+    # busy interval again: sample sees only the new activity
+    pmu.record(500.0, 1000.0)
+    assert pmu.sample() == pytest.approx(0.5)
+    # lifetime counter still integrates everything
+    assert pmu.read_overhead() == pytest.approx(600 / 3000)
+
+
+def test_sample_with_no_progress_is_zero():
+    pmu = PMUCounters()
+    pmu.record(100.0, 1000.0)
+    pmu.sample()
+    assert pmu.sample() == 0.0

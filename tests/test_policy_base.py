@@ -1,0 +1,57 @@
+"""Tests for the policy interface's default behaviour."""
+
+import pytest
+
+from repro.policies.base import HugePagePolicy
+from tests.test_fault import make_proc
+
+
+class MinimalPolicy(HugePagePolicy):
+    """Smallest possible concrete policy: base pages, no background work."""
+
+    name = "minimal"
+
+    def fault_size(self, proc, vma, vpn):
+        """Always base."""
+        return "base"
+
+
+def make(kernel4k_factory=None):
+    from repro.kernel.kernel import Kernel
+    from tests.conftest import small_config
+
+    return Kernel(small_config(), MinimalPolicy)
+
+
+def test_abstract_policy_cannot_instantiate():
+    with pytest.raises(TypeError):
+        HugePagePolicy(object())
+
+
+def test_default_hooks_are_noops():
+    kernel = make()
+    proc, vma = make_proc(kernel)
+    policy = kernel.policy
+    assert policy.reserved_frame(proc, vma, vma.start) is None
+    assert policy.on_memory_pressure(100) == 0
+    assert policy.estimated_overhead(proc) == 0.0
+    policy.post_fault(proc, vma, vma.start, huge=False)
+    policy.on_epoch()
+    policy.on_sample(proc)
+    policy.on_madvise_free(proc, vma.start, 1)
+    policy.on_process_exit(proc)
+
+
+def test_minimal_policy_runs_workloads():
+    from tests.conftest import spawn_simple
+
+    kernel = make()
+    run = spawn_simple(kernel, heap_mb=4, work_s=2.0)
+    kernel.run(max_epochs=50)
+    assert run.finished
+    assert run.proc.stats.huge_faults == 0
+
+
+def test_baselines_do_not_trust_zero_lists():
+    kernel = make()
+    assert not kernel.policy.trusts_zero_lists

@@ -1,0 +1,78 @@
+"""Tests for process teardown (exit_process)."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.policies.freebsd import FreeBSDPolicy
+from repro.units import MB, PAGES_PER_HUGE
+from tests.conftest import small_config
+from tests.test_fault import make_proc
+
+
+def test_exit_releases_all_memory(kernel_thp):
+    proc, vma = make_proc(kernel_thp, nbytes=8 * MB)
+    for hvpn in range(vma.start >> 9, vma.end >> 9):
+        kernel_thp.fault(proc, hvpn << 9)
+    free_before_exit = kernel_thp.buddy.free_pages
+    freed = kernel_thp.exit_process(proc)
+    assert freed == 4 * PAGES_PER_HUGE
+    assert kernel_thp.buddy.free_pages == free_before_exit + freed
+    assert proc not in kernel_thp.processes
+    assert len(proc.page_table.base) == 0
+    assert len(proc.page_table.huge) == 0
+
+
+def test_exit_with_mixed_mappings(kernel_thp):
+    proc, vma = make_proc(kernel_thp, nbytes=8 * MB)
+    kernel_thp.fault(proc, vma.start)                      # huge
+    kernel_thp.demote_region(proc, vma.start >> 9)
+    kernel_thp.madvise_free(proc, vma.start, 10)           # holes
+    kernel_thp.dedup_zero_pages(proc, vma.start >> 9)      # shared-zero rest
+    shared = proc.page_table.shared_zero_count
+    assert shared > 0
+    mappings_before = kernel_thp.zero_registry.mappings
+    kernel_thp.exit_process(proc)
+    assert kernel_thp.zero_registry.mappings == mappings_before - shared
+    # every frame is back: only the canonical zero frame stays allocated
+    assert kernel_thp.frames.allocated_count() == 1
+
+
+def test_exit_clears_policy_state():
+    kernel = Kernel(small_config(), FreeBSDPolicy)
+    proc, vma = make_proc(kernel)
+    kernel.fault(proc, vma.start)  # creates a reservation
+    assert kernel.policy.reservations
+    kernel.exit_process(proc)
+    assert not kernel.policy.reservations
+    assert kernel.frames.allocated_count() == 1
+
+
+def test_exit_drops_swap_entries():
+    kernel = Kernel(
+        KernelConfig(mem_bytes=8 * MB, swap_bytes=32 * MB),
+        lambda k: __import__("repro.policies.linux", fromlist=["Linux4KPolicy"]).Linux4KPolicy(k),
+    )
+    proc, vma = make_proc(kernel, nbytes=16 * MB)
+    for vpn in range(vma.start, vma.start + 3000):
+        kernel.fault(proc, vpn)
+    assert kernel.swap.swapped
+    kernel.exit_process(proc)
+    assert not kernel.swap.swapped
+
+
+def test_exit_finishes_workload_run(kernel4k):
+    from tests.conftest import spawn_simple
+
+    run = spawn_simple(kernel4k, heap_mb=4, work_s=1000.0)
+    kernel4k.run_epochs(2)
+    assert not run.finished
+    kernel4k.exit_process(run.proc)
+    assert run.finished
+    kernel4k.run_epochs(2)  # the dead run must not be stepped again
+
+
+def test_exit_twice_is_safe(kernel4k):
+    proc, vma = make_proc(kernel4k)
+    kernel4k.fault(proc, vma.start)
+    kernel4k.exit_process(proc)
+    assert kernel4k.exit_process(proc) == 0

@@ -1,0 +1,54 @@
+"""Unit tests for /proc-style snapshots."""
+
+import pytest
+
+from repro.kernel import procfs
+from repro.units import MB, PAGES_PER_HUGE
+from repro.vm.vma import HugePageHint
+from tests.test_fault import make_proc
+
+
+def test_meminfo_accounts_consistently(kernel_thp):
+    proc, vma = make_proc(kernel_thp)
+    kernel_thp.fault(proc, vma.start)
+    info = procfs.meminfo(kernel_thp)
+    assert info["MemTotal"] == info["MemFree"] + info["MemAllocated"]
+    assert info["AnonHugePages"] == 2048  # one 2 MiB mapping in KiB
+    assert info["SwapUsed"] == 0
+
+
+def test_meminfo_tracks_zero_lists(kernel_hawkeye):
+    kernel_hawkeye.run_epochs(1)
+    info = procfs.meminfo(kernel_hawkeye)
+    assert info["ZeroedFree"] == info["MemFree"]  # boot memory pre-zeroed
+
+
+def test_vmstat_counters(kernel_thp):
+    proc, vma = make_proc(kernel_thp)
+    kernel_thp.fault(proc, vma.start)
+    kernel_thp.demote_region(proc, vma.start >> 9)
+    stats = procfs.vmstat(kernel_thp)
+    assert stats["pgfault"] == 1
+    assert stats["pgfault_huge"] == 1
+    assert stats["thp_split"] == 1
+    assert stats["oom_kill"] == 0
+
+
+def test_smaps_rows(kernel_thp):
+    proc, vma = make_proc(kernel_thp, nbytes=8 * MB)
+    kernel_thp.madvise_hugepage(proc, "heap", HugePageHint.ALWAYS)
+    kernel_thp.fault(proc, vma.start)
+    rows = procfs.smaps(kernel_thp, proc)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["name"] == "heap"
+    assert row["size_kb"] == 8 * 1024
+    assert row["rss_kb"] == 2 * 1024
+    assert row["anon_huge_kb"] == 2 * 1024
+    assert row["hint"] == "always"
+
+
+def test_format_meminfo_layout(kernel4k):
+    text = procfs.format_meminfo(kernel4k)
+    assert "MemTotal:" in text
+    assert text.strip().endswith("kB")

@@ -1,0 +1,92 @@
+"""Property-based tests for the access_map and VMA list."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.access_map import NUM_BUCKETS, AccessMap, bucket_of
+from repro.errors import InvalidAddressError
+from repro.vm.vma import VMA, VMAList
+
+
+@given(st.floats(0, 512))
+def test_bucket_of_total_and_monotonic(coverage):
+    b = bucket_of(coverage)
+    assert 0 <= b < NUM_BUCKETS
+    assert bucket_of(min(coverage + 50, 512)) >= b
+
+
+class AccessMapMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.amap = AccessMap()
+        self.model: dict[int, float] = {}
+
+    @rule(hvpn=st.integers(0, 30), coverage=st.floats(0, 600))
+    def update(self, hvpn, coverage):
+        self.amap.update(hvpn, coverage)
+        self.model[hvpn] = coverage
+
+    @rule(hvpn=st.integers(0, 30))
+    def remove(self, hvpn):
+        self.amap.remove(hvpn)
+        self.model.pop(hvpn, None)
+
+    @rule()
+    def pop(self):
+        top = self.amap.highest_nonempty()
+        popped = self.amap.pop_next()
+        if popped is None:
+            assert top is None
+        else:
+            assert bucket_of(min(self.model[popped], 512)) == top
+            del self.model[popped]
+
+    @invariant()
+    def membership_matches_model(self):
+        assert len(self.amap) == len(self.model)
+        for hvpn, coverage in self.model.items():
+            assert hvpn in self.amap
+            expected = bucket_of(min(coverage, 512))
+            assert self.amap._bucket_of[hvpn] == expected
+            assert hvpn in self.amap.buckets[expected]
+
+    @invariant()
+    def promotion_order_is_bucket_descending(self):
+        order = list(self.amap.iter_promotion_order())
+        buckets = [self.amap._bucket_of[h] for h in order]
+        assert buckets == sorted(buckets, reverse=True)
+
+
+AccessMapMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
+TestAccessMapProperties = AccessMapMachine.TestCase
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2000), st.integers(1, 64)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_vma_list_never_overlaps(requests):
+    vmas = VMAList()
+    accepted: list[VMA] = []
+    for start, npages in requests:
+        try:
+            accepted.append(vmas.add(VMA(start, npages, f"v{start}")))
+        except InvalidAddressError:
+            pass
+    # no two accepted VMAs overlap
+    spans = sorted((v.start, v.end) for v in accepted)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+    # every accepted page resolves back to its VMA
+    for vma in accepted:
+        assert vmas.find(vma.start) is vma
+        assert vmas.find(vma.end - 1) is vma

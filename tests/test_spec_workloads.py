@@ -1,0 +1,63 @@
+"""Tests for the SPEC / CloudSuite presets."""
+
+import pytest
+
+from repro.experiments import Scale, make_kernel
+from repro.tlb.mmu_model import MMUModel, RegionLoad
+from repro.units import GB, SEC
+from repro.workloads import spec
+from repro.workloads.catalog import APPLICATIONS
+
+SCALE = Scale(1 / 64)
+
+
+def test_available_presets_all_build():
+    for name in spec.available():
+        wl = spec.make(name, scale=SCALE.factor)
+        assert wl.name == name
+        assert wl.build_phases()
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(KeyError):
+        spec.make("gcc")  # catalogued but TLB-insensitive: no preset
+
+
+def test_presets_are_paper_sensitive_apps():
+    sensitive = {a.name for a in APPLICATIONS if a.paper_sensitive}
+    assert set(spec.available()) <= sensitive | {"graph-analytics", "data-analytics"}
+
+
+def test_mcf_is_tlb_sensitive_end_to_end():
+    kernel = make_kernel(8 * GB, "linux-4kb", SCALE)
+    run = kernel.spawn(spec.make("mcf", scale=SCALE.factor, work_us=300 * SEC))
+    kernel.run_epochs(20)
+    base_overhead = run.proc.mmu_overhead
+    assert base_overhead > 0.1
+
+    kernel2 = make_kernel(8 * GB, "linux-2mb", SCALE)
+    run2 = kernel2.spawn(spec.make("mcf", scale=SCALE.factor, work_us=300 * SEC))
+    kernel2.run_epochs(20)
+    assert run2.proc.mmu_overhead < base_overhead / 3
+
+
+def test_omnetpp_matches_fig10_sensitivity():
+    wl = spec.make("omnetpp", scale=SCALE.factor)
+    assert wl.profile.cache_sensitivity == 1.0
+
+
+def test_class_shims():
+    assert spec.Mcf(scale=SCALE.factor).name == "mcf"
+    assert spec.Omnetpp(scale=SCALE.factor).name == "omnetpp"
+
+
+def test_rates_consistent_with_catalog_classification():
+    """Every preset must classify as sensitive through the model, the
+    same check Table 2 runs over the whole catalog."""
+    model = MMUModel()
+    for name in spec.available():
+        wl = spec.make(name, scale=SCALE.factor)
+        spec_app = next(a for a in APPLICATIONS if a.name == name)
+        load = RegionLoad(2000, 512.0, 0.0, 1.0, spec_app.pattern)
+        overhead = model.epoch([load], access_rate=spec_app.access_rate).overhead
+        assert 1.0 / (1.0 - overhead) - 1.0 > 0.03, name

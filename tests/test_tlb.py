@@ -1,0 +1,96 @@
+"""Unit tests for the TLB capacity model and walk-cost tables."""
+
+import pytest
+
+from repro.patterns import Pattern
+from repro.tlb.tlb import TLBConfig
+from repro.tlb.walk import (
+    blended_walk_cycles,
+    nested_walk_cycles,
+    pattern_latency_factor,
+    walk_cycles,
+)
+
+
+def test_haswell_defaults():
+    """§4: L1 = 64×4K + 8×2M, L2 = 1024 shared."""
+    tlb = TLBConfig()
+    assert (tlb.l1_base, tlb.l1_huge, tlb.l2_shared) == (64, 8, 1024)
+
+
+def test_no_misses_when_demand_fits():
+    tlb = TLBConfig()
+    miss_base, miss_huge = tlb.miss_fractions(100, 4)
+    assert miss_base == 0.0
+    assert miss_huge == 0.0
+
+
+def test_miss_fraction_grows_with_demand():
+    tlb = TLBConfig()
+    m1, _ = tlb.miss_fractions(2000, 0)
+    m2, _ = tlb.miss_fractions(20000, 0)
+    assert 0 < m1 < m2 < 1
+
+
+def test_l2_shared_competitively():
+    tlb = TLBConfig()
+    cap_base_alone, _ = tlb.capacities(5000, 0)
+    cap_base_shared, cap_huge_shared = tlb.capacities(5000, 5000)
+    assert cap_base_alone == pytest.approx(64 + 1024)
+    assert cap_base_shared < cap_base_alone
+    assert cap_huge_shared > 8
+
+
+def test_zero_demand_has_zero_miss():
+    tlb = TLBConfig()
+    assert tlb.miss_fractions(0, 0) == (0.0, 0.0)
+
+
+def test_reach():
+    tlb = TLBConfig()
+    assert tlb.base_reach_bytes() == (64 + 1024) * 4096
+    assert tlb.huge_reach_bytes() == (8 + 1024) * 2 * 1024 * 1024
+
+
+def test_huge_walks_far_cheaper_than_base():
+    """The core huge-page premise: shorter walks, walk-cache friendly."""
+    assert walk_cycles("2m") < walk_cycles("4k") / 10
+
+
+def test_nested_walks_cost_more_than_native():
+    for guest in ("4k", "2m"):
+        for host in ("4k", "2m"):
+            assert nested_walk_cycles(guest, host) > walk_cycles(guest)
+
+
+def test_nested_best_case_is_2m_on_2m():
+    costs = {k: v for k, v in
+             ((k, nested_walk_cycles(*k)) for k in
+              [("4k", "4k"), ("4k", "2m"), ("2m", "4k"), ("2m", "2m")])}
+    assert min(costs, key=costs.get) == ("2m", "2m")
+    assert max(costs, key=costs.get) == ("4k", "4k")
+
+
+def test_pattern_factors_ordered():
+    assert (
+        pattern_latency_factor(Pattern.SEQUENTIAL)
+        < pattern_latency_factor(Pattern.STRIDED)
+        < pattern_latency_factor(Pattern.RANDOM)
+        == 1.0
+    )
+
+
+def test_blended_walk_interpolates_host_fraction():
+    native = blended_walk_cycles("4k", None)
+    all_4k = blended_walk_cycles("4k", 0.0)
+    all_2m = blended_walk_cycles("4k", 1.0)
+    half = blended_walk_cycles("4k", 0.5)
+    assert native == walk_cycles("4k")
+    assert all_4k == nested_walk_cycles("4k", "4k")
+    assert all_2m == nested_walk_cycles("4k", "2m")
+    assert half == pytest.approx((all_4k + all_2m) / 2)
+
+
+def test_blended_clamps_fraction():
+    assert blended_walk_cycles("2m", 1.5) == nested_walk_cycles("2m", "2m")
+    assert blended_walk_cycles("2m", -0.5) == nested_walk_cycles("2m", "4k")

@@ -1,0 +1,119 @@
+"""Tests for trace-driven workloads."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import MB, PAGES_PER_HUGE, SEC
+from repro.workloads.trace import TraceWorkload, parse_size, parse_time
+
+
+class TestParsing:
+    def test_parse_size(self):
+        assert parse_size("4096") == 4096
+        assert parse_size("4KB") == 4096
+        assert parse_size("2MB") == 2 * MB
+        assert parse_size("1.5GB") == int(1.5 * 1024 * MB)
+
+    def test_parse_time(self):
+        assert parse_time("25s") == 25 * SEC
+        assert parse_time("10ms") == 10_000
+        assert parse_time("7us") == 7.0
+        assert parse_time("3") == 3.0
+
+    def test_comments_and_blanks_ignored(self):
+        wl = TraceWorkload.parse("""
+            # a comment
+            mmap heap 4MB
+
+            touch heap   # trailing comment
+        """)
+        assert len(wl.build_phases()) == 1
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ConfigError, match="line 2"):
+            TraceWorkload.parse("mmap heap 4MB\nfrobnicate x\n")
+
+    def test_unknown_kwarg_format(self):
+        with pytest.raises(ConfigError):
+            TraceWorkload.parse("touch heap 0 10 ratefast\n")
+
+
+class TestExecution:
+    def run_trace(self, kernel, text, max_epochs=200, scale=1.0):
+        run = kernel.spawn(TraceWorkload.parse(text, scale=scale))
+        kernel.run(max_epochs=max_epochs)
+        assert run.finished
+        return run
+
+    def test_mmap_touch_free(self, kernel4k):
+        run = self.run_trace(kernel4k, """
+            mmap heap 4MB
+            touch heap
+            free heap 0 512
+        """)
+        assert run.proc.rss_pages() == 512
+
+    def test_sparse_free(self, kernel4k):
+        run = self.run_trace(kernel4k, """
+            mmap heap 4MB
+            touch heap
+            free heap sparse=0.5
+        """)
+        assert run.proc.rss_pages() == pytest.approx(512, rel=0.2)
+
+    def test_advise_nohugepage(self, kernel_thp):
+        run = self.run_trace(kernel_thp, """
+            mmap heap 4MB
+            advise heap nohugepage
+            touch heap
+        """)
+        assert run.proc.stats.huge_faults == 0
+
+    def test_advise_hugepage_under_4k_policy(self, kernel4k):
+        run = self.run_trace(kernel4k, """
+            mmap heap 4MB
+            advise heap hugepage
+            touch heap
+        """)
+        assert run.proc.stats.huge_faults == 2
+
+    def test_compute_with_profile(self, kernel4k):
+        run = self.run_trace(kernel4k, """
+            mmap heap 16MB
+            touch heap
+            compute 10s region=heap coverage=512 access_rate=30
+        """, max_epochs=60)
+        assert run.proc.mmu_overhead > 0.2
+        assert run.elapsed_us > 12 * SEC  # overhead stretched the compute
+
+    def test_serve_phase(self, kernel4k):
+        run = self.run_trace(kernel4k, """
+            serve 5s rate=1000 cost=10
+        """)
+        served = sum(run.served.values())
+        assert served == pytest.approx(5000, rel=0.05)
+
+    def test_scale_applied_to_sizes(self, kernel4k):
+        run = self.run_trace(kernel4k, """
+            mmap heap 8MB
+            touch heap
+        """, scale=0.5)
+        assert run.proc.rss_pages() == 1024
+
+    def test_respawn_gets_fresh_op_state(self, kernel4k):
+        wl = TraceWorkload.parse("mmap h 1MB\ntouch h\n")
+        r1 = kernel4k.spawn(wl)
+        kernel4k.run(max_epochs=20)
+        r2 = kernel4k.spawn(wl)
+        kernel4k.run(max_epochs=20)
+        assert r1.finished and r2.finished
+        assert r2.proc.rss_pages() == 256
+
+    def test_from_file(self, kernel4k, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("mmap heap 2MB\ntouch heap\n")
+        wl = TraceWorkload.from_file(path)
+        run = kernel4k.spawn(wl)
+        kernel4k.run(max_epochs=20)
+        assert run.finished
+        assert run.proc.rss_pages() == 512

@@ -1,0 +1,42 @@
+"""Unit tests for repro.units address/size helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_page_constants():
+    assert units.BASE_PAGE_SIZE == 4096
+    assert units.PAGES_PER_HUGE == 512
+    assert units.HUGE_PAGE_SIZE == 2 * units.MB
+
+
+def test_pages_of_rounds_up():
+    assert units.pages_of(1) == 1
+    assert units.pages_of(4096) == 1
+    assert units.pages_of(4097) == 2
+    assert units.pages_of(units.GB) == 262144
+
+
+def test_huge_pages_of():
+    assert units.huge_pages_of(1) == 1
+    assert units.huge_pages_of(units.HUGE_PAGE_SIZE) == 1
+    assert units.huge_pages_of(units.HUGE_PAGE_SIZE + 1) == 2
+
+
+def test_huge_alignment_helpers():
+    assert units.huge_align_down(0) == 0
+    assert units.huge_align_down(511) == 0
+    assert units.huge_align_down(512) == 512
+    assert units.huge_align_up(1) == 512
+    assert units.huge_align_up(512) == 512
+    assert units.is_huge_aligned(1024)
+    assert not units.is_huge_aligned(1023)
+
+
+@pytest.mark.parametrize(
+    "nbytes,expect",
+    [(512, "512B"), (2048, "2.0KB"), (3 * units.MB, "3.0MB"), (5 * units.GB, "5.0GB")],
+)
+def test_bytes_human(nbytes, expect):
+    assert units.bytes_human(nbytes) == expect

@@ -1,0 +1,155 @@
+"""Unit tests for the virtualisation layer."""
+
+import pytest
+
+from repro.experiments import Scale, make_hypervisor, make_vm
+from repro.units import GB, MB, PAGES_PER_HUGE, SEC
+from repro.virt.balloon import BalloonDriver
+from repro.virt.ksm import KSMThread
+from repro.workloads.base import ContentSpec, FreeOp, MmapOp, Phase, TouchOp, Workload
+
+
+SCALE = Scale(1 / 256)  # small for unit tests: 96 GB -> 384 MB
+
+
+class GuestAllocator(Workload):
+    name = "guest-alloc"
+
+    def __init__(self, nbytes, zero=False, free_after=False):
+        self.nbytes = nbytes
+        self.zero = zero
+        self.free_after = free_after
+
+    def build_phases(self):
+        ops = [MmapOp("heap", self.nbytes),
+               TouchOp("heap", content=ContentSpec(zero=self.zero, first_nonzero=0))]
+        if self.free_after:
+            ops.append(FreeOp("heap"))
+        return [Phase("alloc", ops=ops), Phase("hold", duration_us=600 * SEC)]
+
+
+def setup(host_policy="linux-2mb", guest_policy="linux-2mb", vm_gb=16):
+    hyp = make_hypervisor(96 * GB, host_policy, SCALE)
+    vm = make_vm(hyp, "vm1", vm_gb * GB, guest_policy, SCALE)
+    return hyp, vm
+
+
+def test_guest_allocation_backs_host_pages():
+    hyp, vm = setup()
+    run = vm.spawn(GuestAllocator(SCALE.bytes(4 * GB)))
+    hyp.run_epoch()
+    host_rss = vm.host_proc.rss_pages()
+    guest_rss = run.proc.rss_pages()
+    assert guest_rss == SCALE.bytes(4 * GB) // 4096
+    assert host_rss >= guest_rss
+
+
+def test_backing_fault_cost_charged_to_guest():
+    hyp, vm = setup()
+    run = vm.spawn(GuestAllocator(SCALE.bytes(1 * GB)))
+    hyp.run_epoch()
+    # guest fault time includes host (sync-zeroing) backing faults
+    assert run.proc.stats.fault_time_us > 0
+    assert vm.host_proc.stats.faults > 0
+
+
+def test_host_huge_fraction_updates():
+    hyp, vm = setup(host_policy="linux-2mb")
+    vm.spawn(GuestAllocator(SCALE.bytes(8 * GB)))
+    hyp.run_epoch()
+    hyp.run_epoch()
+    assert vm._host_huge_fraction > 0.9  # host THP maps guest RAM huge
+
+
+def test_nested_overhead_reported_to_host_pmu():
+    hyp, vm = setup(vm_gb=32)  # cg.D needs 16 GB (scaled) of guest RAM
+    from repro.workloads.npb import NPBWorkload
+
+    run = vm.spawn(NPBWorkload("cg.D", scale=SCALE.factor, work_us=50 * SEC))
+    for _ in range(5):
+        hyp.run_epoch()
+    host_pmu = hyp.host.pmu[vm.host_proc.pid]
+    assert host_pmu.cpu_clk_unhalted > 0
+
+
+class TestKSM:
+    def test_merges_guest_zero_pages(self):
+        hyp, vm = setup()
+        ksm = hyp.enable_ksm(pages_per_sec=1e9)
+        vm.spawn(GuestAllocator(SCALE.bytes(4 * GB), zero=True))
+        for _ in range(3):
+            hyp.run_epoch()
+        assert ksm.merged_pages > 0
+        assert hyp.host.zero_registry.mappings == ksm.merged_pages
+
+    def test_spares_guest_data_pages(self):
+        hyp, vm = setup()
+        ksm = hyp.enable_ksm(pages_per_sec=1e9)
+        vm.spawn(GuestAllocator(SCALE.bytes(4 * GB), zero=False))
+        for _ in range(3):
+            hyp.run_epoch()
+        assert ksm.merged_pages == 0
+
+    def test_guest_free_plus_prezero_returns_memory(self):
+        """The paper's transparent ballooning channel: guest frees ->
+        guest pre-zero -> host KSM merge -> host frames recovered."""
+        hyp, vm = setup(guest_policy="hawkeye-g")
+        ksm = hyp.enable_ksm(pages_per_sec=1e9)
+        # crank the guest pre-zero thread for the test
+        vm.guest.policy.prezero._limiter.per_second = 1e9
+        run = vm.spawn(GuestAllocator(SCALE.bytes(4 * GB), zero=False, free_after=True))
+        host_free_before = hyp.host.buddy.free_pages
+        for _ in range(6):
+            hyp.run_epoch()
+        assert ksm.merged_pages > 0
+        assert hyp.host.buddy.free_pages > host_free_before - 100
+
+    def test_realloc_after_merge_cow_faults(self):
+        hyp, vm = setup(guest_policy="hawkeye-g")
+        hyp.enable_ksm(pages_per_sec=1e9)
+        vm.guest.policy.prezero._limiter.per_second = 1e9
+        vm.spawn(GuestAllocator(SCALE.bytes(2 * GB), free_after=True))
+        for _ in range(6):
+            hyp.run_epoch()
+        merged = hyp.host.zero_registry.mappings
+        assert merged > 0
+        # guest reallocates: backing hook must COW-break merged pages
+        vm.spawn(GuestAllocator(SCALE.bytes(2 * GB)))
+        for _ in range(3):
+            hyp.run_epoch()
+        assert hyp.host.zero_registry.cow_faults > 0
+
+
+class TestBalloon:
+    def test_returns_free_guest_memory(self):
+        hyp, vm = setup()
+        run = vm.spawn(GuestAllocator(SCALE.bytes(4 * GB), free_after=True))
+        hyp.run_epoch()  # allocate + free inside the guest
+        host_rss_before = vm.host_proc.rss_pages()
+        hyp.enable_ballooning(pages_per_sec=1e9)
+        hyp.run_epoch()
+        assert hyp.balloons[0].returned_pages > 0
+        assert vm.host_proc.rss_pages() < host_rss_before
+
+    def test_ballooned_pages_refault_on_reuse(self):
+        hyp, vm = setup()
+        vm.spawn(GuestAllocator(SCALE.bytes(2 * GB), free_after=True))
+        hyp.run_epoch()
+        hyp.enable_ballooning(pages_per_sec=1e9)
+        hyp.run_epoch()
+        returned = hyp.balloons[0].returned_pages
+        assert returned > 0
+        host_faults_before = hyp.host.stats.faults
+        vm.spawn(GuestAllocator(SCALE.bytes(2 * GB)))
+        hyp.run_epoch()
+        assert hyp.host.stats.faults > host_faults_before
+
+
+def test_swap_pressure_slows_guest():
+    hyp, vm = setup()
+    hyp.host.swap = __import__("repro.kernel.swap", fromlist=["SwapDevice"]).SwapDevice(
+        hyp.host, capacity_pages=100_000
+    )
+    hyp.host.swap.swapped = {(vm.host_proc.pid, v) for v in range(1000)}
+    vm.refresh()
+    assert vm.guest.external_slowdown > 0

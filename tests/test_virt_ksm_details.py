@@ -1,0 +1,86 @@
+"""Focused tests for the guest-zero KSM thread's mechanics."""
+
+import pytest
+
+from repro.experiments import Scale, make_hypervisor, make_vm
+from repro.units import GB, PAGES_PER_HUGE, SEC
+from repro.workloads.base import ContentSpec, MmapOp, Phase, TouchOp, Workload
+
+SCALE = Scale(1 / 256)
+
+
+class HalfZeroGuest(Workload):
+    """Guest whose heap alternates written and never-written pages."""
+
+    name = "half-zero"
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+
+    def build_phases(self):
+        return [
+            Phase("alloc", ops=[
+                MmapOp("heap", self.nbytes),
+                TouchOp("heap", stride_pages=2,
+                        content=ContentSpec(first_nonzero=0)),
+            ]),
+            Phase("hold", duration_us=600 * SEC),
+        ]
+
+
+def setup(guest_policy="linux-2mb"):
+    hyp = make_hypervisor(32 * GB, "linux-2mb", SCALE)
+    vm = make_vm(hyp, "v", 8 * GB, guest_policy, SCALE)
+    ksm = hyp.enable_ksm(pages_per_sec=1e9)
+    return hyp, vm, ksm
+
+
+def test_guest_zero_mask_reads_guest_truth():
+    hyp, vm, _ = setup()
+    run = vm.spawn(HalfZeroGuest(SCALE.bytes(2 * GB)))
+    hyp.run_epoch()
+    base_hvpn = vm.ram_vma.start >> 9
+    nregions = vm.ram_pages // PAGES_PER_HUGE
+    # guest touched every other page of its heap: the heap's backing
+    # regions must show up half-zero through the guest-truth mask
+    half_zero = [
+        h for h in range(base_hvpn, base_hvpn + nregions)
+        if abs(int(vm.guest_zero_mask(h).sum()) - PAGES_PER_HUGE // 2) <= 2
+    ]
+    heap_regions = SCALE.bytes(2 * GB) // (PAGES_PER_HUGE * 4096)
+    assert len(half_zero) == heap_regions
+
+
+def test_half_zero_host_pages_demote_and_merge():
+    hyp, vm, ksm = setup()
+    vm.spawn(HalfZeroGuest(SCALE.bytes(2 * GB)))
+    for _ in range(3):
+        hyp.run_epoch()
+    # DEMOTE_ZERO_FRACTION is 0.5: half-zero regions qualify
+    assert ksm.merged_pages > 0
+    assert hyp.host.stats.demotions > 0
+    # merged backing leaves the host page shared-zero
+    assert vm.host_proc.page_table.shared_zero_count == ksm.merged_pages
+
+
+def test_ksm_scan_cursor_rotates():
+    hyp, vm, ksm = setup()
+    vm.spawn(HalfZeroGuest(SCALE.bytes(2 * GB)))
+    hyp.run_epoch()
+    first = ksm._cursor.get(vm.name, 0)
+    hyp.run_epoch()
+    second = ksm._cursor.get(vm.name, 0)
+    nregions = vm.ram_pages // PAGES_PER_HUGE
+    assert 0 <= first < nregions and 0 <= second < nregions
+
+
+def test_rate_limited_ksm_partial_progress():
+    hyp = make_hypervisor(32 * GB, "linux-2mb", SCALE)
+    vm = make_vm(hyp, "v", 8 * GB, "linux-2mb", SCALE)
+    ksm = hyp.enable_ksm(pages_per_sec=PAGES_PER_HUGE * 1.0)  # 1 region/epoch
+    vm.spawn(HalfZeroGuest(SCALE.bytes(2 * GB)))
+    # 16 backing regions at ~1-2 regions/epoch: the cursor needs several
+    # epochs to reach the heap's regions
+    for _ in range(24):
+        hyp.run_epoch()
+    assert ksm.merged_pages > 0, "rate-limited scan reaches the data eventually"

@@ -1,0 +1,64 @@
+"""Unit tests for VMAs and the VMA list."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.vm.vma import VMA, VMAKind, VMAList
+
+
+def test_vma_geometry():
+    vma = VMA(start=512, npages=1024, name="heap")
+    assert vma.end == 1536
+    assert vma.contains(512) and vma.contains(1535)
+    assert not vma.contains(1536) and not vma.contains(511)
+    assert vma.covers(512, 512)
+    assert not vma.covers(1024, 1024)
+
+
+def test_add_and_find():
+    vmas = VMAList()
+    a = vmas.add(VMA(0, 100, "a"))
+    b = vmas.add(VMA(200, 100, "b"))
+    assert vmas.find(50) is a
+    assert vmas.find(250) is b
+    assert len(vmas) == 2
+    assert [v.name for v in vmas] == ["a", "b"]
+
+
+def test_find_in_gap_raises():
+    vmas = VMAList()
+    vmas.add(VMA(0, 100, "a"))
+    with pytest.raises(InvalidAddressError):
+        vmas.find(150)
+    assert vmas.try_find(150) is None
+
+
+def test_overlap_rejected():
+    vmas = VMAList()
+    vmas.add(VMA(100, 100, "a"))
+    with pytest.raises(InvalidAddressError):
+        vmas.add(VMA(150, 100, "b"))
+    with pytest.raises(InvalidAddressError):
+        vmas.add(VMA(50, 60, "c"))
+
+
+def test_insert_out_of_order_keeps_sorted():
+    vmas = VMAList()
+    vmas.add(VMA(1000, 10, "c"))
+    vmas.add(VMA(0, 10, "a"))
+    vmas.add(VMA(500, 10, "b"))
+    assert [v.name for v in vmas] == ["a", "b", "c"]
+    assert vmas.highest_end() == 1010
+
+
+def test_remove():
+    vmas = VMAList()
+    a = vmas.add(VMA(0, 10, "a"))
+    vmas.remove(a)
+    assert len(vmas) == 0
+    with pytest.raises(InvalidAddressError):
+        vmas.remove(a)
+
+
+def test_default_kind_is_anonymous():
+    assert VMA(0, 1).kind is VMAKind.ANON

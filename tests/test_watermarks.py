@@ -1,0 +1,75 @@
+"""Unit tests for the bloat-recovery watermarks (§3.2 hysteresis)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.watermarks import Watermarks
+
+
+def test_paper_defaults():
+    wm = Watermarks()
+    assert wm.high == 0.85
+    assert wm.low == 0.70
+
+
+def test_invalid_ordering_rejected():
+    with pytest.raises(ConfigError):
+        Watermarks(high=0.5, low=0.7)
+    with pytest.raises(ConfigError):
+        Watermarks(high=1.5, low=0.7)
+    with pytest.raises(ConfigError):
+        Watermarks(high=0.8, low=0.0)
+
+
+def test_activates_above_high():
+    wm = Watermarks()
+    assert not wm.update(0.5)
+    assert not wm.update(0.84)
+    assert wm.update(0.85)
+    assert wm.active
+
+
+def test_hysteresis_keeps_running_until_low():
+    """Recovery must continue below high until the low watermark."""
+    wm = Watermarks()
+    wm.update(0.9)
+    assert wm.update(0.80), "still active between watermarks"
+    assert wm.update(0.71), "still active just above low"
+    assert not wm.update(0.69), "deactivates below low"
+    assert not wm.update(0.80), "stays off until high is crossed again"
+    assert wm.update(0.86)
+
+
+class TestDynamicWatermarks:
+    def make(self):
+        from repro.mem.watermarks import DynamicWatermarks
+
+        return DynamicWatermarks(high=0.85, low=0.70)
+
+    def test_steady_load_keeps_static_thresholds(self):
+        wm = self.make()
+        for _ in range(40):
+            wm.update(0.5)
+        assert wm.high == pytest.approx(0.85, abs=0.01)
+        assert wm.low == pytest.approx(0.70, abs=0.01)
+
+    def test_volatile_load_widens_margin(self):
+        wm = self.make()
+        for i in range(40):
+            wm.update(0.55 + 0.25 * (i % 2))  # oscillating 0.55/0.80
+        assert wm.high < 0.85, "volatile load must lower the trigger"
+        assert wm.low < 0.70
+
+    def test_still_activates_and_deactivates(self):
+        wm = self.make()
+        for _ in range(10):
+            wm.update(0.5)
+        assert wm.update(0.9)
+        assert not wm.update(0.1)
+
+    def test_margin_capped(self):
+        wm = self.make()
+        for i in range(40):
+            wm.update(1.0 if i % 2 else 0.0)  # pathological volatility
+        assert wm.high >= wm._base_low + 0.02
+        assert wm.low >= 0.01

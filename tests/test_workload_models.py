@@ -1,0 +1,123 @@
+"""Tests for the calibrated workload models (NPB, Graph500, Redis, ...)."""
+
+import pytest
+
+from repro.experiments import Scale, make_kernel
+from repro.units import GB, SEC
+from repro.workloads.graph import Graph500, PageRank
+from repro.workloads.haccio import HaccIO
+from repro.workloads.microbench import AllocTouchFree, RandomAccess, SequentialAccess
+from repro.workloads.npb import NPB_SPECS, NPBWorkload
+from repro.workloads.redis import RedisBulkInsert, RedisChurn, RedisFig1, RedisLight
+from repro.workloads.sparsehash import SparseHash
+from repro.workloads.spinup import JVMSpinUp, KVMSpinUp
+from repro.workloads.xsbench import XSBench
+
+SCALE = Scale(1 / 256)
+
+
+def steady_overhead(workload, mem_gb=48, policy="linux-4kb", epochs=40):
+    kernel = make_kernel(mem_gb * GB, policy, SCALE)
+    run = kernel.spawn(workload)
+    kernel.run_epochs(epochs)
+    return run.proc.mmu_overhead
+
+
+@pytest.mark.parametrize("which", sorted(NPB_SPECS))
+def test_npb_4k_overheads_match_table3(which):
+    spec = NPB_SPECS[which]
+    wl = NPBWorkload(which, scale=SCALE.factor, work_us=1000 * SEC)
+    overhead = steady_overhead(wl, mem_gb=96)
+    assert overhead == pytest.approx(spec.paper_overhead_4k, abs=max(0.02, spec.paper_overhead_4k * 0.35)), which
+
+
+def test_npb_2m_overheads_near_zero():
+    wl = NPBWorkload("cg.D", scale=SCALE.factor, work_us=1000 * SEC)
+    overhead = steady_overhead(wl, mem_gb=96, policy="linux-2mb")
+    assert overhead < 0.05
+
+
+def test_graph500_xsbench_overheads():
+    # calibration targets hold at the default experiment scale (1/64);
+    # smaller scales shrink TLB demand and with it the miss fraction
+    scale = Scale(1 / 64)
+
+    def overhead(wl):
+        kernel = make_kernel(48 * GB, "linux-4kb", scale)
+        run = kernel.spawn(wl)
+        kernel.run_epochs(30)
+        return run.proc.mmu_overhead
+
+    assert overhead(Graph500(scale=scale.factor, work_us=900 * SEC)) == pytest.approx(0.13, abs=0.03)
+    assert overhead(XSBench(scale=scale.factor, work_us=900 * SEC)) == pytest.approx(0.15, abs=0.03)
+
+
+def test_hot_regions_in_high_vas():
+    """Figure 6: Graph500/XSBench hot-spots live in high VAs."""
+    for wl in (Graph500(scale=SCALE.factor), XSBench(scale=SCALE.factor)):
+        spec = wl.profile.specs[0]
+        assert spec.hot_start >= 0.5
+
+
+def test_table9_random_vs_sequential():
+    """Same coverage, opposite measured overheads (Table 9)."""
+    random_oh = steady_overhead(RandomAccess(scale=SCALE.factor, work_us=900 * SEC), mem_gb=16)
+    seq_oh = steady_overhead(SequentialAccess(scale=SCALE.factor, work_us=900 * SEC), mem_gb=16)
+    assert random_oh == pytest.approx(0.60, abs=0.08)
+    assert seq_oh < 0.01
+
+
+def test_alloc_touch_free_round_counts():
+    kernel = make_kernel(16 * GB, "linux-4kb", SCALE)
+    wl = AllocTouchFree(buffer_bytes=1 * GB, rounds=3, scale=SCALE.factor)
+    run = kernel.spawn(wl)
+    kernel.run(max_epochs=100)
+    pages_per_round = SCALE.bytes(1 * GB) // 4096
+    assert run.proc.stats.faults == 3 * pages_per_round
+    assert run.proc.rss_pages() == 0  # everything freed
+
+
+def test_redis_fig1_phases_shape():
+    wl = RedisFig1(scale=SCALE.factor)
+    names = [p.name for p in wl.build_phases()]
+    assert names == ["P1-insert", "P2-delete", "gap", "P3-reinsert", "steady"]
+
+
+def test_redis_churn_serving_profile_overhead():
+    wl = RedisChurn(scale=SCALE.factor)
+    profile = wl.serving_profile()
+    from repro.tlb.mmu_model import MMUModel
+
+    loads = [
+        __import__("repro.tlb.mmu_model", fromlist=["RegionLoad"]).RegionLoad(
+            2000, float(profile.specs[0].coverage), 0.0, 1.0
+        )
+    ]
+    overhead = MMUModel().epoch(loads, profile.access_rate).overhead
+    # Table 7: ~7% throughput gap between 4K and 2M serving
+    assert overhead == pytest.approx(0.068, abs=0.02)
+
+
+def test_bulk_insert_value_count():
+    wl = RedisBulkInsert(scale=1.0, dataset_bytes=4 * GB)
+    assert wl.values_inserted() == 2048
+
+
+def test_spinup_memory_stays_zero():
+    kernel = make_kernel(96 * GB, "linux-2mb", SCALE)
+    run = kernel.spawn(KVMSpinUp(scale=SCALE.factor))
+    kernel.run(max_epochs=200)
+    assert run.finished
+    proc = run.proc
+    vma = run.vma("guest-ram")
+    frame, _ = proc.page_table.translate(vma.start)
+    assert kernel.frames.is_zero(frame)
+
+
+def test_workload_names_unique():
+    names = [
+        RedisFig1().name, RedisChurn().name, RedisBulkInsert().name,
+        RedisLight().name, Graph500().name, XSBench().name, PageRank().name,
+        SparseHash().name, HaccIO().name, KVMSpinUp().name, JVMSpinUp().name,
+    ]
+    assert len(set(names)) == len(names)

@@ -1,0 +1,32 @@
+"""Unit tests for the canonical zero-page registry."""
+
+import pytest
+
+from repro.mem.zeropage import ZeroPageRegistry
+
+
+def test_share_unshare_accounting():
+    reg = ZeroPageRegistry(zero_frame=7)
+    reg.share(3)
+    assert reg.mappings == 3
+    assert reg.dedups == 3
+    assert reg.pages_saved() == 3
+    reg.unshare(2)
+    assert reg.mappings == 1
+    assert reg.dedups == 3, "dedups is a lifetime counter"
+
+
+def test_unshare_more_than_shared_rejected():
+    reg = ZeroPageRegistry(0)
+    reg.share()
+    with pytest.raises(ValueError):
+        reg.unshare(2)
+
+
+def test_cow_break_counts_fault():
+    """Paper §3.2: writes to deduplicated zero pages cost a COW fault."""
+    reg = ZeroPageRegistry(0)
+    reg.share(2)
+    reg.cow_break()
+    assert reg.mappings == 1
+    assert reg.cow_faults == 1
