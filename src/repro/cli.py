@@ -117,8 +117,23 @@ def build_parser() -> argparse.ArgumentParser:
                        default="linux-4kb,linux-2mb,ingens-90,hawkeye-g",
                        help="comma-separated policy list")
 
-    bench_p = sub.add_parser("bench", help="regenerate a paper table/figure")
-    bench_p.add_argument("target", choices=sorted(BENCHES))
+    bench_p = sub.add_parser(
+        "bench",
+        help="regenerate a paper table/figure, or run the touch microbenchmark",
+    )
+    bench_p.add_argument("target", nargs="?", default="touch",
+                         choices=sorted(BENCHES) + ["touch"],
+                         help="paper bench name, or 'touch' (default) for the "
+                              "fault-throughput microbenchmark")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="print a cProfile hot-path report instead of timings")
+    bench_p.add_argument("--json", action="store_true",
+                         help="emit the touch result as JSON (touch target only)")
+    bench_p.add_argument("--check", metavar="BASELINE",
+                         help="compare against a baseline JSON; exit 1 on >25%% "
+                              "regression of the batched/scalar speedup")
+    bench_p.add_argument("--update-baseline", metavar="BASELINE",
+                         help="write the touch result to a baseline JSON file")
 
     return parser
 
@@ -226,16 +241,86 @@ def cmd_compare(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """`repro bench`: shell out to the pytest bench for a paper table/figure."""
+    """`repro bench`: paper benches via pytest, or the touch microbenchmark."""
     import subprocess
     from pathlib import Path
 
+    if args.target == "touch":
+        return _cmd_bench_touch(args)
+
     bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
     target = bench_dir / BENCHES[args.target]
+    if args.profile:
+        from repro import perf
+
+        # pytest-benchmark's timed block cannot be profiled (it installs
+        # its own sys profiler hook), so profile the experiment function.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(target.stem, target)
+        module = importlib.util.module_from_spec(spec)
+        sys.path.insert(0, str(bench_dir))
+        try:
+            spec.loader.exec_module(module)
+            run = getattr(module, "run_policy", None) or getattr(module, "run_config", None)
+            if run is None:
+                print(f"{target.name} exposes no run_policy/run_config to profile",
+                      file=sys.stderr)
+                return 2
+            import inspect
+
+            fill = {"policy": "hawkeye-g", "label": "profile", "scale": Scale(1 / 128)}
+            kwargs = {
+                name: fill[name]
+                for name in inspect.signature(run).parameters
+                if name in fill
+            }
+            print(perf.profile_target(lambda: run(**kwargs), args.target))
+        finally:
+            sys.path.remove(str(bench_dir))
+        return 0
     return subprocess.call([
         sys.executable, "-m", "pytest", str(target),
         "--benchmark-only", "-q", "-s",
     ])
+
+
+def _cmd_bench_touch(args) -> int:
+    """The touch-throughput microbenchmark with baseline check support."""
+    import json
+
+    from repro import perf
+
+    if args.check:
+        import os
+
+        if not os.path.exists(args.check):
+            print(f"baseline file not found: {args.check}", file=sys.stderr)
+            return 2
+    if args.profile:
+        print(perf.profile_touch())
+        return 0
+    result = perf.touch_benchmark()
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(perf.format_touch_report(result))
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {args.update_baseline}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = perf.check_regression(result, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"within tolerance of {args.check} "
+              f"(baseline speedup {baseline['speedup']:.2f}x)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

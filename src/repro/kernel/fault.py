@@ -16,8 +16,10 @@ mappings (created by bloat recovery, §3.2) take a copy-on-write fault.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
+from repro.policies.base import HugePagePolicy
 from repro.units import PAGES_PER_HUGE
 from repro.vm.process import Process
 from repro.vm.vma import VMA, HugePageHint, VMAKind
@@ -128,6 +130,243 @@ def _base_fault(
     kernel.stats.faults += 1
     policy.post_fault(proc, vma, vpn, huge=False)
     return latency
+
+
+def handle_fault_range(
+    kernel: "Kernel",
+    proc: Process,
+    vpn0: int,
+    npages: int,
+    budget_us: float = math.inf,
+    content=None,
+    vma: VMA | None = None,
+    work_us: float = 0.0,
+    pace_us: float = 0.0,
+) -> tuple[float, int]:
+    """Batched equivalent of per-page ``handle_fault`` plus content writes.
+
+    Touches ``[vpn0, vpn0 + npages)`` in ascending order and stops — like
+    the scalar touch loop — once the consumed time reaches ``budget_us``
+    (checked before each page, so the same one-page overshoot is
+    possible).  Each page consumes ``max(fault_cost + work_us, pace_us)``
+    of budget, mirroring the touch loop's per-page work and client pacing;
+    only the raw fault cost is charged to fault-time statistics.  Returns
+    ``(consumed_us, pages_processed)``.
+
+    The contract is *exact equivalence*: page tables, rmap, buddy
+    free-list contents (including dict order, which drives future
+    allocations), frame content descriptors and all counters end up
+    identical to running ``handle_fault`` — and, when ``content`` is
+    given, a per-page :meth:`FrameTable.write` — page by page.  The only
+    tolerated difference is float rounding in latency totals, which are
+    charged as ``count × per-fault-cost`` per uniform run.
+
+    Pages that cannot take the bulk path fall back to scalar
+    ``handle_fault``: shared-zero / shared-COW mappings (write breaks),
+    swapped-out pages, and the first page of a region eligible for a huge
+    fault.  Policies with reservation or post-fault hooks (FreeBSD) and
+    kernels with a ``frame_alloc_hook`` (virtualised setups) take the
+    scalar path for the entire range.  ``content`` duck-types
+    :class:`repro.workloads.base.ContentSpec`.
+
+    Bulk runs require ``policy.fault_size`` to be stable across a huge
+    region for a fixed state (it is consulted once per run, not per
+    page); every in-tree policy satisfies this.
+    """
+    pt = proc.page_table
+    policy = kernel.policy
+    scalar_only = (
+        type(policy).reserved_frame is not HugePagePolicy.reserved_frame
+        or type(policy).post_fault is not HugePagePolicy.post_fault
+        or kernel.frame_alloc_hook is not None
+    )
+    base = pt.base
+    huge = pt.huge
+    swapped = kernel.swap.swapped if kernel.swap is not None else None
+    pid = proc.pid
+    # Budget increment for a page whose fault cost is zero (already mapped).
+    flat_inc = work_us if work_us > pace_us else pace_us
+    consumed = 0.0
+    pos = 0
+    while pos < npages and consumed < budget_us:
+        vpn = vpn0 + pos
+        if vma is None or not vma.contains(vpn):
+            vma = proc.vmas.find(vpn)
+        if scalar_only:
+            cost = handle_fault(kernel, proc, vpn, vma)
+            if content is not None:
+                _write_content_page(kernel, proc, vpn, content)
+            consumed += max(cost + work_us, pace_us)
+            pos += 1
+            continue
+        hvpn = vpn >> 9
+        seg_end = min((hvpn + 1) << 9, vma.end, vpn0 + npages)
+        huge_pte = huge.get(hvpn)
+        if huge_pte is not None:
+            # Whole tail of the region is huge-mapped: touch + write only.
+            n = seg_end - vpn
+            if flat_inc > 0.0 and not math.isinf(budget_us):
+                n = min(n, int(math.ceil((budget_us - consumed) / flat_inc)))
+            huge_pte.accessed = True
+            if content is not None:
+                frame0 = huge_pte.frame + (vpn & (PAGES_PER_HUGE - 1))
+                _write_content_run(kernel, frame0, n, content)
+            consumed += n * flat_inc
+            pos += n
+            continue
+        pte = base.get(vpn)
+        if pte is not None:
+            if pte.shared_zero or pte.shared_cow:
+                cost = handle_fault(kernel, proc, vpn, vma)
+                if content is not None:
+                    _write_content_page(kernel, proc, vpn, content)
+                consumed += max(cost + work_us, pace_us)
+                pos += 1
+                continue
+            # Run of private already-mapped base pages: touch + write only.
+            limit = seg_end
+            if flat_inc > 0.0 and not math.isinf(budget_us):
+                limit = min(limit, vpn + int(math.ceil((budget_us - consumed) / flat_inc)))
+            run_frames = []
+            v = vpn
+            while v < limit:
+                p = base.get(v)
+                if p is None or p.shared_zero or p.shared_cow:
+                    break
+                p.accessed = True
+                run_frames.append(p.frame)
+                v += 1
+            if content is not None:
+                _write_content_frames(kernel, run_frames, content)
+            consumed += (v - vpn) * flat_inc
+            pos += v - vpn
+            continue
+        if swapped and (pid, vpn) in swapped:
+            cost = handle_fault(kernel, proc, vpn, vma)
+            if content is not None:
+                _write_content_page(kernel, proc, vpn, content)
+            consumed += max(cost + work_us, pace_us)
+            pos += 1
+            continue
+        region = proc.region(hvpn)
+        if vma.hint is HugePageHint.NEVER:
+            want_huge = False
+        elif vma.hint is HugePageHint.ALWAYS:
+            want_huge = True
+        else:
+            want_huge = policy.fault_size(proc, vma, vpn) == "huge"
+        if want_huge and region.resident == 0 and vma.covers(hvpn << 9, PAGES_PER_HUGE):
+            # Huge-fault-eligible: scalar for this page; on success the
+            # rest of the region takes the huge-mapped run above, on
+            # fallback it becomes resident>0 and bulk base faults apply.
+            cost = handle_fault(kernel, proc, vpn, vma)
+            if content is not None:
+                _write_content_page(kernel, proc, vpn, content)
+            consumed += max(cost + work_us, pace_us)
+            pos += 1
+            continue
+        # Contiguous unmapped, unswapped run: the bulk base-fault path.
+        v = vpn + 1
+        while v < seg_end and v not in base and not (swapped and (pid, v) in swapped):
+            v += 1
+        run_us, run_pages = _bulk_base_fault(
+            kernel, proc, vma, region, vpn, v - vpn, budget_us - consumed, content,
+            work_us, pace_us,
+        )
+        consumed += run_us
+        pos += run_pages
+        if run_pages < v - vpn:
+            break  # latency budget exhausted mid-run
+    return consumed, pos
+
+
+def _bulk_base_fault(
+    kernel: "Kernel", proc: Process, vma: VMA, region, vpn0: int, npages: int,
+    budget_us: float, content, work_us: float = 0.0, pace_us: float = 0.0,
+) -> tuple[float, int]:
+    """Allocate, map, account and write a run of base faults in bulk.
+
+    One buddy extent at a time (so a mid-run budget stop leaves the free
+    lists exactly as the scalar loop would); per-extent fault latency is
+    ``count × costs.base_fault(needs_zero)``, while the budget drains by
+    ``count × max(cost + work_us, pace_us)``.  Returns ``(µs, pages)``
+    where the µs are the budget consumption.
+    """
+    anon = vma.kind is VMAKind.ANON
+    trusts = kernel.policy.trusts_zero_lists
+    costs = kernel.costs
+    pt = proc.page_table
+    pstats = proc.stats
+    kstats = kernel.stats
+    total = 0.0
+    done = 0
+    while done < npages and total < budget_us:
+        start, count, zeroed = kernel.alloc_base_run_extent(
+            npages - done, prefer_zero=anon, owner=proc.pid
+        )
+        needs_zero = anon and (not zeroed or not trusts)
+        per_page = costs.base_fault(needs_zero)
+        inc = max(per_page + work_us, pace_us)
+        left = budget_us - total
+        # The scalar loop faults another page whenever the time consumed
+        # so far is below budget, so this extent contributes exactly
+        # ceil(left / inc) pages before the stop (capped by its size).
+        take = count if math.isinf(left) else min(count, int(math.ceil(left / inc)))
+        if take < count:
+            # Return the surplus: scalar would never have allocated it.
+            # free_range reinserts the identical maximal decomposition
+            # (no buddy of a surplus piece can be free: the drained prefix
+            # is allocated and the block's outer buddies were not free).
+            kernel.buddy.free_range(start + take, count - take)
+        if needs_zero:
+            kernel.frames.zero_fill(start, take)
+        ext = [(start, take, zeroed)]
+        pt.map_base_range(vpn0 + done, ext, accessed=True)
+        kernel.rmap_add_range(proc, vpn0 + done, ext)
+        if content is not None:
+            _write_content_run(kernel, start, take, content)
+        run_us = take * per_page
+        total += take * inc
+        done += take
+        region.resident += take
+        pstats.faults += take
+        pstats.fault_time_us += run_us
+        proc.fault_time_epoch_us += run_us
+        kstats.faults += take
+        if take < count:
+            break
+    return total, done
+
+
+def _write_content_run(kernel: "Kernel", frame0: int, count: int, content) -> None:
+    """Apply a ContentSpec to ``count`` consecutive frames."""
+    if content.zero:
+        kernel.frames.zero_fill(frame0, count)
+    else:
+        kernel.frames.write_range(frame0, count, content.first_nonzero, content.shared_tag)
+
+
+def _write_content_frames(kernel: "Kernel", frames: list[int], content) -> None:
+    """Apply a ContentSpec to an arbitrary frame list (in list order)."""
+    if not frames:
+        return
+    if content.zero:
+        for frame in frames:
+            kernel.frames.write_zero(frame)
+    else:
+        kernel.frames.write_frames(frames, content.first_nonzero, content.shared_tag)
+
+
+def _write_content_page(kernel: "Kernel", proc: Process, vpn: int, content) -> None:
+    """Post-fault content write for one page (the scalar touch semantics)."""
+    translated = proc.page_table.translate(vpn)
+    if translated is None:
+        return
+    frame, _ = translated
+    if content.zero:
+        kernel.frames.write_zero(frame)
+    else:
+        kernel.frames.write(frame, content.first_nonzero, content.shared_tag)
 
 
 def _cow_break_shared(kernel: "Kernel", proc: Process, vpn: int) -> float:

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import InvalidAddressError, OutOfMemoryError
 from repro.kernel.costs import CostModel
-from repro.kernel.fault import handle_fault
+from repro.kernel.fault import handle_fault, handle_fault_range
 from repro.kernel.stats import KernelStats
 from repro.kernel.swap import SwapDevice
 from repro.mem.buddy import BuddyAllocator
@@ -135,7 +135,11 @@ class Kernel:
         #: host backing for nested walks; the virt layer overrides this.
         self.host_huge_fraction: Callable[[Process], Optional[float]] = lambda proc: None
         self.epoch_hooks: list[Callable[["Kernel"], None]] = []
+        #: bulk fault fast path toggle (scalar-equivalent; off = per-page
+        #: faults everywhere, used by the equivalence tests and perf A/B).
+        self.batched_faults = True
         self._va_cursor: dict[int, int] = {}
+        self._run_by_pid: dict[int, "WorkloadRun"] = {}
         zero_frame, _ = self.buddy.alloc(order=0, owner=KERNEL_OWNER)
         self.frames.zero_fill(zero_frame)
         self.frames.pinned[zero_frame] = True
@@ -160,6 +164,7 @@ class Kernel:
         self.pmu[proc.pid] = PMUCounters()
         run = WorkloadRun(self, proc, workload)
         self.runs.append(run)
+        self._run_by_pid[proc.pid] = run
         return run
 
     def exit_process(self, proc: Process) -> int:
@@ -197,11 +202,11 @@ class Kernel:
         if proc in self.processes:
             self.processes.remove(proc)
         self.pmu.pop(proc.pid, None)
-        for run in self.runs:
-            if run.proc is proc and not run.finished:
-                run.finished = True
-                run.finish_time_us = self.now_us
-                proc.finished = True
+        run = self._run_by_pid.pop(proc.pid, None)
+        if run is not None and not run.finished:
+            run.finished = True
+            run.finish_time_us = self.now_us
+            proc.finished = True
         proc.access_profile = None
         return freed
 
@@ -230,6 +235,34 @@ class Kernel:
         """Touch one virtual page; returns fault latency in µs."""
         return handle_fault(self, proc, vpn)
 
+    def fault_range(
+        self,
+        proc: Process,
+        vpn0: int,
+        npages: int,
+        budget_us: float = float("inf"),
+        content=None,
+        vma=None,
+        work_us: float = 0.0,
+        pace_us: float = 0.0,
+    ) -> tuple[float, int]:
+        """Touch ``npages`` consecutive virtual pages through the bulk path.
+
+        Scalar-equivalent batched faulting (see
+        :func:`repro.kernel.fault.handle_fault_range`): identical
+        policy-visible state and statistics to per-page :meth:`fault`
+        calls, stopping once the consumed time reaches ``budget_us``.
+        Each page drains ``max(fault_cost + work_us, pace_us)`` of budget
+        (per-page application work and client pacing, as the touch loop
+        charges them); only the fault cost lands in fault-time statistics.
+        ``content`` optionally applies a
+        :class:`~repro.workloads.base.ContentSpec` write to every touched
+        page, as the touch loop would.  Returns ``(consumed_us, pages)``.
+        """
+        return handle_fault_range(
+            self, proc, vpn0, npages, budget_us, content, vma, work_us, pace_us
+        )
+
     def madvise_free(self, proc: Process, vpn: int, npages: int) -> float:
         """MADV_DONTNEED/MADV_FREE: release a range back to the kernel.
 
@@ -242,14 +275,17 @@ class Kernel:
         for hvpn in range(vpn >> 9, (vpn + npages - 1 >> 9) + 1):
             if hvpn in pt.huge and self._range_overlaps_region(vpn, npages, hvpn):
                 cost += self.demote_region(proc, hvpn)
-        for page in range(vpn, vpn + npages):
-            pte = pt.base.get(page)
-            if pte is None:
-                continue
-            self._unmap_base_page(proc, page)
-            region = proc.region(page >> 9)
-            region.resident -= 1
-            cost += 0.2
+        if self.batched_faults:
+            cost += self._unmap_base_batched(proc, vpn, npages)
+        else:
+            for page in range(vpn, vpn + npages):
+                pte = pt.base.get(page)
+                if pte is None:
+                    continue
+                self._unmap_base_page(proc, page)
+                region = proc.region(page >> 9)
+                region.resident -= 1
+                cost += 0.2
         self.policy.on_madvise_free(proc, vpn, npages)
         proc.fault_time_epoch_us += cost
         return cost
@@ -258,6 +294,55 @@ class Kernel:
     def _range_overlaps_region(vpn: int, npages: int, hvpn: int) -> bool:
         lo, hi = hvpn << 9, (hvpn + 1) << 9
         return vpn < hi and vpn + npages > lo
+
+    def _unmap_base_batched(self, proc: Process, vpn: int, npages: int) -> float:
+        """Unmap a base-page range, freeing consecutive-frame runs in bulk.
+
+        Scalar-equivalent: frames still return to the buddy allocator in
+        ascending-vpn order, and ``free_range`` on an ascending run of
+        consecutive frames leaves the free lists (contents *and* dict
+        order) exactly as per-frame ``free`` calls would — intermediate
+        sub-blocks a scalar sequence inserts are removed again by
+        coalescing before anything else touches the lists, and the final
+        maximal blocks are appended at the same points.  Shared-zero /
+        shared-COW mappings and non-consecutive frames fall back to the
+        per-page path.
+        """
+        pt = proc.page_table
+        base = pt.base
+        rmap = self._rmap
+        cost = 0.0
+        page = vpn
+        end = vpn + npages
+        while page < end:
+            pte = base.get(page)
+            if pte is None:
+                page += 1
+                continue
+            if pte.shared_zero or pte.shared_cow:
+                self._unmap_base_page(proc, page)
+                proc.region(page >> 9).resident -= 1
+                cost += 0.2
+                page += 1
+                continue
+            # Maximal run of private PTEs onto ascending consecutive
+            # frames, within one huge region (one resident account).
+            frame0 = pte.frame
+            region_end = min(end, ((page >> 9) + 1) << 9)
+            n = 1
+            while page + n < region_end:
+                nxt = base.get(page + n)
+                if nxt is None or nxt.frame != frame0 + n or not nxt.private:
+                    break
+                n += 1
+            for i in range(n):
+                del base[page + i]
+                rmap.pop(frame0 + i, None)
+            self.buddy.free_range(frame0, n)
+            proc.region(page >> 9).resident -= n
+            cost += 0.2 * n
+            page += n
+        return cost
 
     def _unmap_base_page(self, proc: Process, vpn: int) -> None:
         pte = proc.page_table.unmap_base(vpn)
@@ -285,18 +370,36 @@ class Kernel:
             got = self.buddy.try_alloc(0, prefer_zero, owner)
             if got is not None:
                 return got
-            freed = self.fragmenter.reclaim(PAGES_PER_HUGE)
-            self.stats.reclaimed_file_pages += freed
-            if freed == 0:
-                freed = self.policy.on_memory_pressure(PAGES_PER_HUGE)
-            if freed == 0 and self.swap is not None:
-                freed = self.swap.swap_out(PAGES_PER_HUGE)
-            if freed == 0:
-                self.stats.oom_kills += 1
-                raise OutOfMemoryError(
-                    f"out of memory at t={self.now_us / SEC:.0f}s "
-                    f"({self.buddy.allocated_pages}/{self.buddy.total_pages} pages allocated)"
-                )
+            self._relieve_pressure_or_oom()
+
+    def alloc_base_run_extent(self, max_pages: int, prefer_zero: bool, owner: int) -> tuple[int, int, bool]:
+        """Bulk-allocate one ``(start, count, zeroed)`` extent of base frames.
+
+        Same pressure fallback as :meth:`alloc_base_frame` — the scalar
+        path relieves pressure exactly when a single ``try_alloc(0)``
+        fails, and the bulk extent allocator fails at the same boundary
+        (every free list empty).
+        """
+        while True:
+            got = self.buddy.try_alloc_run_extent(max_pages, prefer_zero, owner)
+            if got is not None:
+                return got
+            self._relieve_pressure_or_oom()
+
+    def _relieve_pressure_or_oom(self) -> None:
+        """Reclaim file cache, ask the policy, then swap; raise OOM if all fail."""
+        freed = self.fragmenter.reclaim(PAGES_PER_HUGE)
+        self.stats.reclaimed_file_pages += freed
+        if freed == 0:
+            freed = self.policy.on_memory_pressure(PAGES_PER_HUGE)
+        if freed == 0 and self.swap is not None:
+            freed = self.swap.swap_out(PAGES_PER_HUGE)
+        if freed == 0:
+            self.stats.oom_kills += 1
+            raise OutOfMemoryError(
+                f"out of memory at t={self.now_us / SEC:.0f}s "
+                f"({self.buddy.allocated_pages}/{self.buddy.total_pages} pages allocated)"
+            )
 
     def alloc_huge_block(self, prefer_zero: bool, owner: int, compact: bool = True) -> tuple[int, bool] | None:
         """Allocate an order-9 block, compacting once if necessary."""
@@ -320,6 +423,15 @@ class Kernel:
     def rmap_add_huge(self, frame: int, proc: Process, hvpn: int) -> None:
         """Record the reverse mapping of a huge block's head frame."""
         self._rmap_huge[frame] = (proc, hvpn)
+
+    def rmap_add_range(self, proc: Process, vpn0: int, extents: list[tuple[int, int, bool]]) -> None:
+        """Batched :meth:`rmap_add`: consecutive vpns over physical extents."""
+        rmap = self._rmap
+        vpn = vpn0
+        for start, count, _ in extents:
+            for i in range(count):
+                rmap[start + i] = (proc, vpn + i)
+            vpn += count
 
     def _migrate_frame(self, old: int, new: int) -> bool:
         """Compaction callback: rebind one base mapping old -> new."""
@@ -475,7 +587,6 @@ class Kernel:
         huge_pte = proc.page_table.huge[hvpn]
         mask = self.frames.zero_mask(huge_pte.frame, PAGES_PER_HUGE)
         zeros = int(mask.sum())
-        scanned = 0
         fnz = self.frames.first_nonzero[huge_pte.frame:huge_pte.frame + PAGES_PER_HUGE]
         from repro.units import BASE_PAGE_SIZE
 

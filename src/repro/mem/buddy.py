@@ -129,6 +129,88 @@ class BuddyAllocator:
         return got
 
     # ------------------------------------------------------------------ #
+    # bulk allocation (the batched fault fast path)                      #
+    # ------------------------------------------------------------------ #
+
+    def try_alloc_run_extent(
+        self, max_pages: int, prefer_zero: bool = True, owner: int = NO_OWNER
+    ) -> tuple[int, int, bool] | None:
+        """Allocate one contiguous extent of up to ``max_pages`` order-0 frames.
+
+        Returns ``(start, count, zeroed)`` or None when nothing is free.
+        The free-list state and the frame sequence are *identical* to what
+        ``count`` scalar ``try_alloc(0, prefer_zero, owner)`` calls would
+        leave: scalar allocation drains a popped block's frames in
+        ascending order before touching any other block (splits keep the
+        low half and dict pops are LIFO), so a content-uniform block can
+        be consumed wholesale in O(1) pops instead of O(pages).  Blocks of
+        mixed content (where scalar draining would interleave the zero
+        and non-zero sub-pieces) fall back to one scalar allocation.
+        """
+        if max_pages <= 0:
+            return None
+        first_nonzero = self.frames.first_nonzero
+        for want_zeroed in (prefer_zero, not prefer_zero):
+            lists = self._zero if want_zeroed else self._nonzero
+            for order in range(self.max_order + 1):
+                bucket = lists[order]
+                if not bucket:
+                    continue
+                start = next(reversed(bucket))  # the block popitem() would take
+                count = 1 << order
+                uniform = (
+                    want_zeroed  # zero-list blocks are all-zero by invariant
+                    or order == 0
+                    or bool((first_nonzero[start:start + count] >= 0).all())
+                )
+                if not uniform:
+                    # Mixed block: scalar draining would jump between the
+                    # zero and non-zero halves, so take exactly one page
+                    # through the scalar path.
+                    got = self.try_alloc(0, prefer_zero, owner)
+                    assert got is not None
+                    return got[0], 1, got[1]
+                del bucket[start]
+                del self._block_order[start]
+                self.free_pages -= count
+                take = min(count, max_pages)
+                self.frames.mark_allocated(start, take, owner)
+                if take < count:
+                    # Reinsert the un-drained tail exactly as the scalar
+                    # split cascade would have left it: the maximal buddy
+                    # decomposition of [start+take, start+count), at most
+                    # one piece per order.
+                    s, end = start + take, start + count
+                    while s < end:
+                        o = 0
+                        while s % (1 << (o + 1)) == 0 and s + (1 << (o + 1)) <= end:
+                            o += 1
+                        self._insert(s, o)
+                        s += 1 << o
+                return start, take, want_zeroed
+        return None
+
+    def try_alloc_run(
+        self, npages: int, prefer_zero: bool = True, owner: int = NO_OWNER
+    ) -> list[tuple[int, int, bool]]:
+        """Allocate up to ``npages`` order-0 frames as a list of extents.
+
+        Returns ``(start, count, zeroed)`` extents totalling ``npages``
+        pages, or fewer only when the allocator runs dry (the same
+        boundary at which scalar ``try_alloc(0)`` would return None).
+        Scalar-equivalent: see :meth:`try_alloc_run_extent`.
+        """
+        extents: list[tuple[int, int, bool]] = []
+        remaining = npages
+        while remaining > 0:
+            ext = self.try_alloc_run_extent(remaining, prefer_zero, owner)
+            if ext is None:
+                break
+            extents.append(ext)
+            remaining -= ext[1]
+        return extents
+
+    # ------------------------------------------------------------------ #
     # freeing                                                            #
     # ------------------------------------------------------------------ #
 

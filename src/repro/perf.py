@@ -1,0 +1,160 @@
+"""Performance harness for the simulator's hot paths.
+
+Two entry points, both reachable through ``python -m repro bench``:
+
+* :func:`touch_benchmark` — the touch-throughput microbenchmark: a dense
+  fault-heavy workload (touch, sparse free, re-touch) run once through
+  the batched fault fast path and once with ``kernel.batched_faults``
+  forced off.  Reporting both gives a machine-independent speedup ratio
+  (used by CI) next to the absolute pages/second (used for baselines).
+* :func:`profile_target` — a cProfile report over a paper benchmark's
+  experiment function, bypassing pytest-benchmark (whose timed block
+  installs its own profiler hook and would hide everything).
+
+The workload here is self-contained so the numbers do not move when the
+paper benchmarks are retuned.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+
+from repro.experiments import POLICIES, Scale, make_kernel
+from repro.units import GB, MB
+from repro.vm.process import Process
+from repro.workloads.base import ContentSpec, FreeOp, Phase, TouchOp, Workload
+
+#: pages in the microbenchmark's touch region (256 MiB effective).
+TOUCH_PAGES = 256 * MB // 4096
+
+
+class _TouchBench(Workload):
+    """Dense touch / free / re-touch — the fault-dominated shape.
+
+    The free is dense (the whole region) so the re-touch allocates from
+    large coalesced blocks; a sparse free shreds physical memory into
+    ~3-page extents and measures the fragmented path for *both* modes
+    instead of fault throughput.  Sparse frees are covered by the
+    scalar-vs-batched equivalence tests.
+    """
+
+    name = "touch-bench"
+
+    def __init__(self, npages: int):
+        self.npages = npages
+
+    def build_phases(self) -> list[Phase]:
+        content = ContentSpec(first_nonzero=9)
+        return [
+            Phase("grow", ops=[TouchOp("heap", npages=self.npages, content=content)]),
+            Phase("shrink", ops=[FreeOp("heap")]),
+            Phase("regrow", ops=[TouchOp("heap", npages=self.npages, content=content)]),
+        ]
+
+    def mmap_bytes(self) -> int:
+        return self.npages * 4096
+
+
+def _run_once(policy: str, npages: int, batched: bool) -> float:
+    """One timed run; returns wall seconds."""
+    Process._next_pid = 1
+    # make_kernel takes the *full-scale* size; 2x headroom over the region
+    # keeps the pressure paths (reclaim/swap) out of the measurement.
+    scale = Scale(1 / 128)
+    kernel = make_kernel(2 * npages * 4096 / scale.factor, policy, scale)
+    kernel.batched_faults = batched
+    bench = _TouchBench(npages)
+    run = kernel.spawn(bench)
+    kernel.mmap(run.proc, bench.mmap_bytes(), "heap")
+    t0 = time.perf_counter()
+    kernel.run(max_epochs=20000)
+    elapsed = time.perf_counter() - t0
+    if not run.finished:
+        raise RuntimeError("touch benchmark did not finish within the epoch cap")
+    return elapsed
+
+
+def touch_benchmark(
+    policy: str = "hawkeye-g", npages: int = TOUCH_PAGES, repeats: int = 3
+) -> dict:
+    """Touch-throughput microbenchmark, batched vs forced-scalar.
+
+    Returns a JSON-friendly dict with the best-of-``repeats`` wall time
+    for each mode, the derived pages/second, and the batched/scalar
+    speedup ratio.
+    """
+    total_pages = 2 * npages  # grow + regrow both touch the full region
+    batched_s = min(_run_once(policy, npages, batched=True) for _ in range(repeats))
+    scalar_s = min(_run_once(policy, npages, batched=False) for _ in range(repeats))
+    return {
+        "policy": policy,
+        "pages": total_pages,
+        "batched_s": round(batched_s, 4),
+        "scalar_s": round(scalar_s, 4),
+        "batched_pages_per_s": round(total_pages / batched_s),
+        "scalar_pages_per_s": round(total_pages / scalar_s),
+        "speedup": round(scalar_s / batched_s, 2),
+    }
+
+
+def format_touch_report(result: dict) -> str:
+    """Human-readable rendering of a :func:`touch_benchmark` result."""
+    return "\n".join([
+        f"touch throughput ({result['policy']}, {result['pages']} pages touched)",
+        f"  batched: {result['batched_s']:.3f}s"
+        f"  ({result['batched_pages_per_s']:,} pages/s)",
+        f"  scalar:  {result['scalar_s']:.3f}s"
+        f"  ({result['scalar_pages_per_s']:,} pages/s)",
+        f"  speedup: {result['speedup']:.2f}x",
+    ])
+
+
+def check_regression(result: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
+    """Compare a fresh result against a checked-in baseline.
+
+    Returns a list of failure messages (empty when within tolerance).
+    The absolute-throughput check only fires on machines comparable to
+    the baseline's; the batched/scalar *ratio* check is machine-neutral
+    and is the one CI relies on.
+    """
+    failures = []
+    floor = baseline["speedup"] * (1 - tolerance)
+    if result["speedup"] < floor:
+        failures.append(
+            f"batched/scalar speedup {result['speedup']:.2f}x fell below "
+            f"{floor:.2f}x (baseline {baseline['speedup']:.2f}x - {tolerance:.0%})"
+        )
+    return failures
+
+
+def profile_target(run, label: str, top: int = 25) -> str:
+    """cProfile ``run()`` and return the cumulative-time hot-path report.
+
+    ``run`` must be a plain callable: pytest-benchmark's timed loop
+    cannot be profiled (it installs its own ``sys`` profiler hook), so
+    callers pass the underlying experiment function instead.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative")
+    out.write(f"hot paths: {label}\n")
+    stats.print_stats(top)
+    return out.getvalue()
+
+
+def profile_touch(policy: str = "hawkeye-g", npages: int = TOUCH_PAGES, top: int = 25) -> str:
+    """Profile one batched run of the touch microbenchmark."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}")
+    return profile_target(
+        lambda: _run_once(policy, npages, batched=True),
+        f"touch microbenchmark ({policy})",
+        top,
+    )

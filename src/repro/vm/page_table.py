@@ -74,6 +74,34 @@ class PageTable:
             self.shared_zero_count += 1
         return pte
 
+    def map_base_range(
+        self, vpn0: int, extents: list[tuple[int, int, bool]], accessed: bool = False
+    ) -> int:
+        """Install base PTEs for consecutive vpns over physical ``extents``.
+
+        ``extents`` is a list of ``(start_frame, count, zeroed)`` runs (the
+        shape :meth:`repro.mem.buddy.BuddyAllocator.try_alloc_run` returns);
+        virtual pages ``vpn0, vpn0+1, ...`` map onto the extents' frames in
+        order.  One bounds/overlap check per run replaces the per-page
+        checks of :meth:`map_base`.  Returns the number of PTEs installed.
+        """
+        total = sum(count for _, count, _ in extents)
+        if total == 0:
+            return 0
+        if not self.base.keys().isdisjoint(range(vpn0, vpn0 + total)):
+            raise InvalidAddressError(f"range [{vpn0}, {vpn0 + total}) overlaps base mappings")
+        if not self.huge.keys().isdisjoint(range(vpn0 >> 9, ((vpn0 + total - 1) >> 9) + 1)):
+            raise InvalidAddressError(f"range [{vpn0}, {vpn0 + total}) overlaps a huge mapping")
+        base = self.base
+        vpn = vpn0
+        for start, count, _ in extents:
+            for i in range(count):
+                pte = BasePTE(start + i)
+                pte.accessed = accessed
+                base[vpn + i] = pte
+            vpn += count
+        return total
+
     def map_huge(self, hvpn: int, frame: int) -> HugePTE:
         """Install a 2 MiB mapping over an order-9 physical block."""
         if hvpn in self.huge:
@@ -114,6 +142,7 @@ class PageTable:
         for i in range(PAGES_PER_HUGE):
             pte = BasePTE(huge_pte.frame + i)
             pte.accessed = huge_pte.accessed
+            pte.dirty = huge_pte.dirty
             self.base[vpn0 + i] = pte
             created.append((vpn0 + i, pte))
         return created

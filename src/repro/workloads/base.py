@@ -20,6 +20,7 @@ evaluation reports.
 from __future__ import annotations
 
 import abc
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -200,6 +201,30 @@ class TouchOp(Op):
         proc = run.proc
         vma = run.vma(self.region)
         total = self.total_touches(vma)
+        if kernel.batched_faults and self.stride_pages == 1 and self._pos < total:
+            # Dense touch: the bulk fault fast path (scalar-equivalent,
+            # including the budget stop, per-page work and rate pacing —
+            # the per-page budget increment max(cost + work, pace) is
+            # uniform within each uniform run, so it batches exactly).
+            vpn = vma.start + self.start_page + self._pos
+            max_this_call = total - self._pos
+            if self.rate_pages_per_sec is not None:
+                max_this_call = min(
+                    max_this_call, int(self.rate_pages_per_sec * budget_us / SEC) + 1
+                )
+            pace_us = SEC / self.rate_pages_per_sec if self.rate_pages_per_sec else 0.0
+            consumed, pages = kernel.fault_range(
+                proc,
+                vpn,
+                max_this_call,
+                budget_us,
+                self.content,
+                vma,
+                work_us=self.work_per_page_us,
+                pace_us=pace_us,
+            )
+            self._pos += pages
+            return consumed, self._pos >= total
         consumed = 0.0
         max_this_call = total - self._pos
         if self.rate_pages_per_sec is not None:
@@ -238,6 +263,7 @@ class FreeOp(Op):
     npages: Optional[int] = None
     sparse_fraction: Optional[float] = None
     seed: int = 11
+    _rng: Optional[random.Random] = field(default=None, repr=False, compare=False)
 
     def execute(self, kernel, run, budget_us):
         """Release the configured range (or sparse subset) via madvise."""
@@ -248,20 +274,26 @@ class FreeOp(Op):
         if self.sparse_fraction is None:
             cost = kernel.madvise_free(proc, base, span)
             return cost, True
-        import random
-
-        rng = random.Random(self.seed)
+        # One RNG per op instance, re-seeded per run so repeated executions
+        # free the same deterministic subset.
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        else:
+            self._rng.seed(self.seed)
+        draw = self._rng.random
+        frac = self.sparse_fraction
+        drop = [draw() < frac for _ in range(span)]
         cost = 0.0
-        run_start = None
-        for i in range(span):
-            if rng.random() < self.sparse_fraction:
-                if run_start is None:
-                    run_start = base + i
-            elif run_start is not None:
-                cost += kernel.madvise_free(proc, run_start, base + i - run_start)
-                run_start = None
-        if run_start is not None:
-            cost += kernel.madvise_free(proc, run_start, base + span - run_start)
+        i = 0
+        while i < span:
+            if drop[i]:
+                j = i + 1
+                while j < span and drop[j]:
+                    j += 1
+                cost += kernel.madvise_free(proc, base + i, j - i)
+                i = j
+            else:
+                i += 1
         return cost, True
 
 

@@ -1,0 +1,295 @@
+"""Unit tests for the batched fault fast path and its supporting layers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.experiments import POLICIES, Scale
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frames import FrameTable
+from repro.units import MB
+from repro.vm.page_table import PageTable
+from repro.vm.process import Process
+from repro.workloads.base import ContentSpec, FreeOp, Phase, Workload
+
+
+# ---------------------------------------------------------------------- #
+# buddy: bulk extent allocation                                           #
+# ---------------------------------------------------------------------- #
+
+
+def make_buddy(num_frames=4096):
+    frames = FrameTable(num_frames)
+    return frames, BuddyAllocator(frames)
+
+
+def test_extent_consumes_uniform_block_wholesale():
+    _, buddy = make_buddy(1024)
+    got = buddy.try_alloc_run_extent(1024)
+    assert got == (0, 1024, True)
+    assert buddy.free_pages == 0
+
+
+def test_extent_matches_scalar_frame_sequence():
+    """The bulk extents hand out exactly the frames scalar allocs would."""
+    _, buddy_a = make_buddy(512)
+    _, buddy_b = make_buddy(512)
+    scalar = [buddy_a.try_alloc(0)[0] for _ in range(300)]
+    bulk = []
+    for start, count, _ in buddy_b.try_alloc_run(300):
+        bulk.extend(range(start, start + count))
+    assert bulk == scalar
+
+
+def test_partial_extent_reinserts_identical_remainder():
+    """Stopping mid-block leaves the same free lists as scalar allocs."""
+    _, buddy_a = make_buddy(256)
+    _, buddy_b = make_buddy(256)
+    for _ in range(37):
+        buddy_a.try_alloc(0)
+    buddy_b.try_alloc_run(37)
+    for order in range(buddy_a.max_order + 1):
+        assert list(buddy_a._zero[order]) == list(buddy_b._zero[order])
+        assert list(buddy_a._nonzero[order]) == list(buddy_b._nonzero[order])
+    assert buddy_a.free_pages == buddy_b.free_pages
+
+
+def test_mixed_content_block_falls_back_to_single_page():
+    """A non-uniform block cannot be drained in one extent."""
+    frames, buddy = make_buddy(8)
+    run = buddy.try_alloc_run(8)
+    frames.write(1, first_nonzero=3)  # frame 1 non-zero, rest zero
+    buddy.free_range(0, 8)            # one order-3 block, mixed content
+    got = buddy.try_alloc_run_extent(8, prefer_zero=False)
+    assert got[1] == 1, "mixed block must degrade to a scalar single-page alloc"
+
+
+def test_run_dry_allocator_returns_short():
+    _, buddy = make_buddy(16)
+    extents = buddy.try_alloc_run(64)
+    assert sum(c for _, c, _ in extents) == 16
+    assert buddy.try_alloc_run_extent(1) is None
+
+
+# ---------------------------------------------------------------------- #
+# frames: vectorised content writes                                       #
+# ---------------------------------------------------------------------- #
+
+
+def test_write_range_mints_ascending_tags():
+    ft = FrameTable(64)
+    before = ft._next_tag
+    ft.write_range(4, 5, first_nonzero=9)
+    assert list(ft.content_tag[4:9]) == list(range(before, before + 5))
+    assert (ft.first_nonzero[4:9] == 9).all()
+    ft2 = FrameTable(64)
+    for f in range(4, 9):
+        ft2.write(f, first_nonzero=9)
+    assert np.array_equal(ft.content_tag, ft2.content_tag)
+    assert np.array_equal(ft.first_nonzero, ft2.first_nonzero)
+
+
+def test_write_frames_matches_scalar_writes():
+    ft, ft2 = FrameTable(64), FrameTable(64)
+    frames = [3, 9, 4, 50]
+    ft.write_frames(frames, first_nonzero=7)
+    for f in frames:
+        ft2.write(f, first_nonzero=7)
+    assert np.array_equal(ft.content_tag, ft2.content_tag)
+    assert np.array_equal(ft.first_nonzero, ft2.first_nonzero)
+
+
+def test_write_range_shared_tag():
+    ft = FrameTable(64)
+    ft.write_range(0, 4, first_nonzero=1, tag=77)
+    assert (ft.content_tag[0:4] == 77).all()
+
+
+# ---------------------------------------------------------------------- #
+# page table: range mapping and the demotion dirty bit                    #
+# ---------------------------------------------------------------------- #
+
+
+def test_map_base_range_rejects_base_overlap():
+    pt = PageTable()
+    pt.map_base(5, 100)
+    with pytest.raises(InvalidAddressError):
+        pt.map_base_range(3, [(0, 4, True)])
+
+
+def test_map_base_range_rejects_huge_overlap():
+    pt = PageTable()
+    pt.map_huge(1, 0)
+    with pytest.raises(InvalidAddressError):
+        pt.map_base_range(510, [(1024, 4, True)])
+
+
+def test_map_base_range_installs_extent_frames():
+    pt = PageTable()
+    assert pt.map_base_range(10, [(100, 3, True), (200, 2, False)], accessed=True) == 5
+    assert [pt.base[10 + i].frame for i in range(5)] == [100, 101, 102, 200, 201]
+    assert all(pt.base[10 + i].accessed for i in range(5))
+
+
+def test_demote_preserves_dirty_and_accessed_bits():
+    pt = PageTable()
+    huge_pte = pt.map_huge(2, 512)
+    huge_pte.accessed = True
+    huge_pte.dirty = True
+    created = pt.demote_huge(2)
+    assert len(created) == 512
+    assert all(pte.dirty for _, pte in created)
+    assert all(pte.accessed for _, pte in created)
+
+
+# ---------------------------------------------------------------------- #
+# kernel: fault_range semantics                                           #
+# ---------------------------------------------------------------------- #
+
+
+class _Idle(Workload):
+    name = "unit"
+
+    def build_phases(self):
+        return [Phase("idle", duration_us=1.0)]
+
+
+def build_kernel(policy="linux-4kb", batched=True, mem_mb=32, heap_mb=16):
+    Process._next_pid = 1
+    kernel = Kernel(KernelConfig(mem_bytes=mem_mb * MB), POLICIES[policy](Scale(1 / 128)))
+    kernel.batched_faults = batched
+    run = kernel.spawn(_Idle())
+    proc = run.proc
+    kernel.mmap(proc, heap_mb * MB, "heap")
+    vma = kernel.find_vma(proc, "heap")
+    return kernel, proc, vma
+
+
+def test_fault_range_counts_and_stats():
+    kernel, proc, vma = build_kernel()
+    consumed, pages = kernel.fault_range(proc, vma.start, 1000)
+    assert pages == 1000
+    assert proc.stats.faults == 1000
+    assert kernel.stats.faults == 1000
+    assert consumed == pytest.approx(proc.stats.fault_time_us)
+    # Re-touching is free (already mapped) but still counts the pages.
+    consumed2, pages2 = kernel.fault_range(proc, vma.start, 1000)
+    assert (consumed2, pages2) == (0.0, 1000)
+
+
+def test_fault_range_budget_stop_matches_scalar():
+    """A mid-gap budget stops both paths after the same page count."""
+    budget = 100.0  # 100 / 2.65 = 37.7 pages: nowhere near a float boundary
+    kernel, proc, vma = build_kernel(batched=True)
+    _, pages = kernel.fault_range(proc, vma.start, 2000, budget_us=budget)
+    ks, ps, vs = build_kernel(batched=False)
+    consumed = 0.0
+    scalar_pages = 0
+    while scalar_pages < 2000 and consumed < budget:
+        consumed += ks.fault(ps, vs.start + scalar_pages)
+        scalar_pages += 1
+    assert pages == scalar_pages
+    assert len(proc.page_table.base) == len(ps.page_table.base)
+
+
+def test_fault_range_pacing_dominates_budget():
+    """With pace > fault cost, pages per budget follow the pacing rate."""
+    kernel, proc, vma = build_kernel()
+    consumed, pages = kernel.fault_range(
+        proc, vma.start, 2000, budget_us=100.0, pace_us=10.0
+    )
+    assert pages == 10
+    assert consumed == pytest.approx(100.0)
+    # Fault-time stats charge only the fault cost, not the pacing.
+    assert proc.stats.fault_time_us < consumed
+
+
+def test_fault_range_work_adds_to_budget_drain():
+    kernel, proc, vma = build_kernel()
+    # Already-mapped pages drain max(work, pace) per page.
+    kernel.fault_range(proc, vma.start, 100)
+    consumed, pages = kernel.fault_range(
+        proc, vma.start, 100, budget_us=50.0, work_us=1.0
+    )
+    assert pages == 50
+    assert consumed == pytest.approx(50.0)
+
+
+def test_exit_process_uses_direct_run_lookup():
+    kernel, proc, vma = build_kernel()
+    boot_allocated = kernel.buddy.allocated_pages  # the canonical zero frame
+    kernel.fault_range(proc, vma.start, 256)
+    run = kernel._run_by_pid[proc.pid]
+    kernel.exit_process(proc)
+    assert run.finished
+    assert proc.pid not in kernel._run_by_pid
+    assert kernel.buddy.allocated_pages == boot_allocated
+
+
+def test_freeop_reuses_seeded_rng():
+    kernel, proc, vma = build_kernel()
+    kernel.fault_range(proc, vma.start, 1024)
+    op = FreeOp("heap", npages=1024, sparse_fraction=0.5, seed=3)
+    run = kernel._run_by_pid[proc.pid]
+    op.execute(kernel, run, math.inf)
+    rng = op._rng
+    assert rng is not None
+    left = len(proc.page_table.base)
+    kernel.fault_range(proc, vma.start, 1024)
+    op.execute(kernel, run, math.inf)
+    assert op._rng is rng, "the op must reuse one RNG instance across runs"
+    assert len(proc.page_table.base) == left, "re-seeded RNG frees the same subset"
+
+
+def test_batched_madvise_matches_scalar_unmap():
+    kb, pb, vb = build_kernel(batched=True)
+    ks, ps, vs = build_kernel(batched=False)
+    for kernel, proc, vma in ((kb, pb, vb), (ks, ps, vs)):
+        for vpn in range(vma.start, vma.start + 900):
+            kernel.fault(proc, vpn)
+        kernel.madvise_free(proc, vma.start + 100, 600)
+    assert sorted(pb.page_table.base) == sorted(ps.page_table.base)
+    for order in range(kb.buddy.max_order + 1):
+        assert list(kb.buddy._zero[order]) == list(ks.buddy._zero[order])
+        assert list(kb.buddy._nonzero[order]) == list(ks.buddy._nonzero[order])
+    assert np.array_equal(kb.frames.allocated, ks.frames.allocated)
+
+
+# ---------------------------------------------------------------------- #
+# perf harness                                                            #
+# ---------------------------------------------------------------------- #
+
+
+def test_check_regression_flags_speedup_drop():
+    from repro.perf import check_regression
+
+    baseline = {"speedup": 4.0}
+    assert check_regression({"speedup": 3.9}, baseline) == []
+    assert check_regression({"speedup": 3.1}, baseline) == []  # within 25%
+    failures = check_regression({"speedup": 2.9}, baseline)
+    assert failures and "speedup" in failures[0]
+
+
+def test_touch_benchmark_smoke():
+    from repro.perf import format_touch_report, touch_benchmark
+
+    result = touch_benchmark(npages=1024, repeats=1)
+    assert result["pages"] == 2048
+    assert result["batched_s"] > 0 and result["scalar_s"] > 0
+    assert "speedup" in format_touch_report(result)
+
+
+def test_cli_bench_accepts_touch_target():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["bench"])
+    assert args.target == "touch"
+    args = build_parser().parse_args(
+        ["bench", "touch", "--json", "--check", "b.json"]
+    )
+    assert args.json and args.check == "b.json"
+    args = build_parser().parse_args(["bench", "tab1", "--profile"])
+    assert args.target == "tab1" and args.profile

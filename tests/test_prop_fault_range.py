@@ -1,0 +1,160 @@
+"""Property test: the batched fault path is *exactly* scalar-equivalent.
+
+For random interleavings of touches (with per-page work and pacing),
+madvise frees, promotions and demotions, running the ops through
+``Kernel.fault_range`` + the batched madvise path must leave every piece
+of policy-visible state byte-for-byte identical to per-page
+``Kernel.fault`` calls: page tables (including flag bits), rmap, buddy
+free lists (contents *and* dict order, which drives future allocations),
+frame-table arrays and fault counters.  Latency totals may differ only
+by float rounding (they are charged as ``count x per-page cost``).
+
+Budget stops are covered deterministically in ``tests/test_fault_range``
+(a razor-edge budget that is an exact float multiple of the per-page
+increment could legitimately round to a different page count, so random
+budgets would make this property flaky by construction).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import OutOfMemoryError
+from repro.experiments import POLICIES, Scale
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.units import MB
+from repro.vm.process import Process
+from repro.workloads.base import ContentSpec, Phase, Workload
+
+REGION_PAGES = 2048  # 8 MiB heap on a 16 MiB machine
+NUM_REGIONS = REGION_PAGES // 512
+
+POLICY_NAMES = ["hawkeye-g", "linux-2mb", "linux-4kb", "freebsd", "ingens-90"]
+
+
+class _Idle(Workload):
+    name = "prop"
+
+    def build_phases(self):
+        return [Phase("idle", duration_us=1.0)]
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("touch"),
+            st.integers(0, REGION_PAGES - 1),
+            st.integers(1, REGION_PAGES),
+            st.sampled_from([0.0, 1.0]),   # work_per_page_us
+            st.sampled_from([0.0, 4.0]),   # pace_us
+        ),
+        st.tuples(
+            st.just("free"),
+            st.integers(0, REGION_PAGES - 1),
+            st.integers(1, 700),
+            st.just(0.0),
+            st.just(0.0),
+        ),
+        st.tuples(st.just("promote"), st.integers(0, NUM_REGIONS - 1),
+                  st.just(0), st.just(0.0), st.just(0.0)),
+        st.tuples(st.just("demote"), st.integers(0, NUM_REGIONS - 1),
+                  st.just(0), st.just(0.0), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _build(policy_name: str, batched: bool):
+    Process._next_pid = 1  # class-global counter: reset so owner arrays compare
+    kernel = Kernel(KernelConfig(mem_bytes=16 * MB), POLICIES[policy_name](Scale(1 / 128)))
+    kernel.batched_faults = batched
+    run = kernel.spawn(_Idle())
+    proc = run.proc
+    kernel.mmap(proc, REGION_PAGES * 4096, "heap")
+    return kernel, proc
+
+
+def _apply(kernel, proc, ops, batched) -> tuple[float, bool]:
+    content = ContentSpec(first_nonzero=9)
+    vma = kernel.find_vma(proc, "heap")
+    total = 0.0
+    try:
+        for kind, a, b, work, pace in ops:
+            if kind == "touch":
+                vpn0 = vma.start + a
+                n = min(b, REGION_PAGES - a)
+                if batched:
+                    consumed, pages = kernel.fault_range(
+                        proc, vpn0, n, content=content, work_us=work, pace_us=pace
+                    )
+                    assert pages == n
+                    total += consumed
+                else:
+                    for vpn in range(vpn0, vpn0 + n):
+                        cost = kernel.fault(proc, vpn)
+                        translated = proc.page_table.translate(vpn)
+                        if translated is not None:
+                            kernel.frames.write(
+                                translated[0], content.first_nonzero, content.shared_tag
+                            )
+                        total += max(cost + work, pace)
+            elif kind == "free":
+                n = min(b, REGION_PAGES - a)
+                total += kernel.madvise_free(proc, vma.start + a, n)
+            elif kind == "promote":
+                kernel.promote_region(proc, (vma.start >> 9) + a)
+            elif kind == "demote":
+                hvpn = (vma.start >> 9) + a
+                if hvpn in proc.page_table.huge:
+                    kernel.demote_region(proc, hvpn)
+    except OutOfMemoryError:
+        return total, True
+    return total, False
+
+
+def _snapshot(kernel, proc) -> dict:
+    pt = proc.page_table
+    return {
+        "base": {
+            vpn: (p.frame, p.accessed, p.dirty, p.shared_zero, p.shared_cow)
+            for vpn, p in pt.base.items()
+        },
+        "huge": {h: (p.frame, p.accessed, p.dirty) for h, p in pt.huge.items()},
+        "zero_lists": [list(d) for d in kernel.buddy._zero],
+        "nonzero_lists": [list(d) for d in kernel.buddy._nonzero],
+        "free_pages": kernel.buddy.free_pages,
+        "rmap": {f: (pr.pid, v) for f, (pr, v) in kernel._rmap.items()},
+        "kstats": (kernel.stats.faults, kernel.stats.huge_faults, kernel.stats.cow_faults),
+        "pstats": (proc.stats.faults, proc.stats.huge_faults, proc.stats.cow_faults),
+        "residents": {
+            h: r.resident for h, r in proc.regions.items() if r.resident
+        } if hasattr(proc, "regions") else None,
+    }
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+@settings(max_examples=25, deadline=None)
+@given(ops=ops_strategy)
+def test_batched_equals_scalar(policy_name, ops):
+    ks, ps = _build(policy_name, batched=False)
+    scalar_total, scalar_oom = _apply(ks, ps, ops, batched=False)
+    kb, pb = _build(policy_name, batched=True)
+    batched_total, batched_oom = _apply(kb, pb, ops, batched=True)
+
+    assert scalar_oom == batched_oom
+    snap_s, snap_b = _snapshot(ks, ps), _snapshot(kb, pb)
+    for key in snap_s:
+        assert snap_s[key] == snap_b[key], f"{policy_name}: {key} diverged"
+    frames_s, frames_b = ks.frames, kb.frames
+    assert np.array_equal(frames_s.allocated, frames_b.allocated)
+    assert np.array_equal(frames_s.first_nonzero, frames_b.first_nonzero)
+    assert np.array_equal(frames_s.content_tag, frames_b.content_tag)
+    assert np.array_equal(frames_s.owner, frames_b.owner)
+    # Latency totals are count x per-page charges: float rounding only.
+    assert batched_total == pytest.approx(scalar_total, rel=1e-9, abs=1e-6)
+    assert pb.stats.fault_time_us == pytest.approx(ps.stats.fault_time_us, rel=1e-9, abs=1e-6)
+    assert pb.fault_time_epoch_us == pytest.approx(ps.fault_time_epoch_us, rel=1e-9, abs=1e-6)
