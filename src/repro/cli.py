@@ -6,11 +6,16 @@ Examples::
     python -m repro run xsbench --policy hawkeye-g --fragment
     python -m repro compare cg.D --policies linux-4kb,linux-2mb,hawkeye-g
     python -m repro bench fig1
+    python -m repro trace run redis-fig1 --policy hawkeye-g --summary
+    python -m repro trace view trace.jsonl --kind fault --summary
+    python -m repro top xsbench --interval 30
 
 ``run`` executes one workload under one policy and prints a summary plus
 /proc-style snapshots; ``compare`` races one workload across policies;
 ``bench`` shells out to the pytest benchmark that regenerates a paper
-table or figure.
+table or figure; ``trace`` records or replays the kernel tracepoint
+stream (JSONL, per-subsystem attribution, latency histograms); ``top``
+watches a run through periodic /proc-style snapshots.
 """
 
 from __future__ import annotations
@@ -135,14 +140,59 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--update-baseline", metavar="BASELINE",
                          help="write the touch result to a baseline JSON file")
 
+    def trace_filters(p):
+        p.add_argument("--kind", default=None,
+                       help="comma-separated tracepoint names or subsystems "
+                            "(e.g. fault,promote.collapse)")
+        p.add_argument("--process", default=None,
+                       help="only events attributed to this process name")
+        p.add_argument("--since", type=float, default=None,
+                       help="only events at or after this simulated second")
+        p.add_argument("--until", type=float, default=None,
+                       help="only events before this simulated second")
+        p.add_argument("--summary", action="store_true",
+                       help="print the per-subsystem time-attribution table")
+        p.add_argument("--hist", action="store_true",
+                       help="print log2 latency histograms per tracepoint")
+
+    trace_p = sub.add_parser(
+        "trace", help="record or replay the kernel tracepoint stream")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    trace_run_p = trace_sub.add_parser(
+        "run", help="run a workload with tracing on; write a JSONL trace")
+    trace_run_p.add_argument("workload", choices=sorted(WORKLOADS))
+    common(trace_run_p)
+    trace_run_p.add_argument("--out", default="trace.jsonl",
+                             help="JSONL output path (default trace.jsonl)")
+    trace_run_p.add_argument("--capacity", type=int, default=None,
+                             help="trace ring-buffer capacity in events")
+    trace_filters(trace_run_p)
+
+    trace_view_p = trace_sub.add_parser(
+        "view", help="filter and summarise a recorded JSONL trace")
+    trace_view_p.add_argument("file", help="JSONL trace written by 'trace run'")
+    trace_view_p.add_argument("--limit", type=int, default=20,
+                              help="events to print (default 20; 0 = none)")
+    trace_filters(trace_view_p)
+
+    top_p = sub.add_parser(
+        "top", help="run a workload printing periodic /proc-style snapshots")
+    top_p.add_argument("workload", choices=sorted(WORKLOADS))
+    common(top_p)
+    top_p.add_argument("--interval", type=float, default=30.0,
+                       help="simulated seconds between snapshots (default 30)")
+
     return parser
 
 
-def _execute(workload_name: str, policy: str, args) -> dict:
+def _execute(workload_name: str, policy: str, args, setup=None) -> dict:
     scale = Scale(1.0 / args.scale)
     kernel = make_kernel(args.mem_gb * GB, policy, scale)
     if args.fragment:
         fragment(kernel)
+    if setup is not None:
+        setup(kernel)
     _, factory = WORKLOADS[workload_name]
     run = kernel.spawn(factory(scale.factor))
     outcome = "completed"
@@ -318,9 +368,153 @@ def _cmd_bench_touch(args) -> int:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
             return 1
+        # Keep stdout valid JSON under --json: status goes to stderr.
         print(f"within tolerance of {args.check} "
-              f"(baseline speedup {baseline['speedup']:.2f}x)")
+              f"(baseline speedup {baseline['speedup']:.2f}x)",
+              file=sys.stderr if args.json else sys.stdout)
     return 0
+
+
+def _trace_kinds(args) -> list[str] | None:
+    """Parse the --kind filter into a list of names/subsystems."""
+    if not args.kind:
+        return None
+    return [k.strip() for k in args.kind.split(",") if k.strip()]
+
+
+def _print_trace_reports(events, args, exact_attribution=None) -> None:
+    """Shared --summary/--hist rendering for trace run/view."""
+    from repro import trace
+
+    if args.summary:
+        table = exact_attribution if exact_attribution is not None else trace.attribution(events)
+        print(trace.format_attribution(table))
+    if args.hist:
+        by_kind: dict = {}
+        for e in events:
+            if e.span_us > 0.0:
+                by_kind.setdefault(e.kind, trace.LatencyHistogram()).add(e.span_us)
+        for kind in sorted(by_kind, key=lambda k: k.value):
+            print(trace.format_histogram(by_kind[kind], kind.value))
+
+
+def _cmd_trace_run(args) -> int:
+    """`repro trace run`: record a traced run and write a JSONL trace."""
+    from repro import trace
+    from repro.metrics.export import trace_to_jsonl
+
+    tracer_box: list[trace.Tracer] = []
+
+    def setup(kernel):
+        capacity = args.capacity if args.capacity else trace.DEFAULT_CAPACITY
+        tracer_box.append(trace.attach(kernel, capacity))
+
+    result = _execute(args.workload, args.policy, args, setup=setup)
+    tracer = tracer_box[0]
+    kinds = _trace_kinds(args)
+    filtered = tracer.filter(kinds, args.process, args.since, args.until)
+    with open(args.out, "w") as fh:
+        fh.write(trace_to_jsonl(filtered))
+    unfiltered = kinds is None and args.process is None \
+        and args.since is None and args.until is None
+    print(f"{args.workload}/{args.policy}: {result['outcome']}, "
+          f"{result['time_s']:.1f} simulated s")
+    print(f"{sum(tracer.counts.values())} events emitted "
+          f"({tracer.dropped} dropped by the ring buffer); "
+          f"{len(filtered)} written to {args.out}")
+    # With no filters the tracer's incremental counters give the exact
+    # attribution even when the ring buffer dropped events.
+    _print_trace_reports(
+        filtered, args,
+        exact_attribution=tracer.attribution() if unfiltered else None,
+    )
+    return 0 if result["outcome"] == "completed" else 1
+
+
+def _cmd_trace_view(args) -> int:
+    """`repro trace view`: filter and summarise a recorded JSONL trace."""
+    import os
+
+    from repro import trace
+    from repro.metrics.export import trace_from_jsonl
+
+    if not os.path.exists(args.file):
+        print(f"trace file not found: {args.file}", file=sys.stderr)
+        return 2
+    with open(args.file) as fh:
+        events = trace_from_jsonl(fh.read())
+    filtered = trace.filter_events(
+        events, _trace_kinds(args), args.process, args.since, args.until)
+    print(f"{len(filtered)} events (of {len(events)} in {args.file})")
+    for e in filtered[: args.limit]:
+        print(e)
+    if args.limit and len(filtered) > args.limit:
+        print(f"... {len(filtered) - args.limit} more "
+              f"(raise --limit to see them)")
+    _print_trace_reports(filtered, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """`repro trace`: dispatch to the run/view sub-commands."""
+    if args.trace_command == "run":
+        return _cmd_trace_run(args)
+    return _cmd_trace_view(args)
+
+
+#: columns of the `repro top` display, in print order.
+TOP_COLUMNS = [
+    "t_s", "free_mb", "alloc_%", "thp_mb", "fmfi",
+    "pgfault/s", "promo/s", "split/s", "swap/s",
+]
+
+
+def cmd_top(args) -> int:
+    """`repro top`: run a workload printing periodic snapshot rows.
+
+    Each row is a /proc-style sample: meminfo gauges plus vmstat counter
+    *rates* over the interval — like watching ``vmstat <interval>`` on
+    the machine while the experiment runs.
+    """
+    widths = [max(8, len(c)) for c in TOP_COLUMNS]
+    print("  ".join(c.rjust(w) for c, w in zip(TOP_COLUMNS, widths)))
+    state = {"last_t": 0.0, "last_vmstat": None}
+
+    def snapshot(kernel):
+        t_s = kernel.now_us / SEC
+        if state["last_vmstat"] is not None and t_s - state["last_t"] < args.interval:
+            return
+        vm = procfs.vmstat(kernel)
+        prev = state["last_vmstat"]
+        dt = t_s - state["last_t"]
+        if prev is None or dt <= 0:
+            rates = {k: 0.0 for k in vm}
+        else:
+            rates = {k: (vm[k] - prev[k]) / dt for k in vm}
+        mem = procfs.meminfo(kernel)
+        row = [
+            f"{t_s:.0f}",
+            f"{mem['MemFree'] // 1024}",
+            f"{100.0 * mem['MemAllocated'] / mem['MemTotal']:.1f}",
+            f"{mem['AnonHugePages'] // 1024}",
+            f"{kernel.fmfi():.2f}",
+            f"{rates['pgfault']:.0f}",
+            f"{rates['thp_collapse_alloc'] + rates['thp_promote_inplace']:.1f}",
+            f"{rates['thp_split']:.1f}",
+            f"{rates['pswpout'] + rates['pswpin']:.1f}",
+        ]
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        state["last_t"] = t_s
+        state["last_vmstat"] = vm
+
+    def setup(kernel):
+        kernel.epoch_hooks.append(snapshot)
+
+    result = _execute(args.workload, args.policy, args, setup=setup)
+    print(f"{args.workload}/{args.policy}: {result['outcome']}, "
+          f"{result['time_s']:.1f} simulated s, {result['faults']} faults, "
+          f"{result['promotions']} promotions")
+    return 0 if result["outcome"] == "completed" else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -334,6 +528,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_compare(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "top":
+        return cmd_top(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

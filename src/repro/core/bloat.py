@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro import trace
 from repro.kernel.kthread import RateLimiter
 from repro.mem.watermarks import Watermarks
 from repro.units import PAGES_PER_HUGE
@@ -110,6 +111,10 @@ class BloatRecovery:
             return 0
         zeros, scanned = kernel.count_zero_pages(proc, hvpn)
         kernel.stats.bloat_cpu_us += kernel.costs.scan_page_us(scanned)
+        if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.BLOAT_SCAN, proc.name,
+                    kernel.costs.scan_page_us(scanned), hvpn,
+                    f"zeros={zeros}")
         if zeros < self.zero_threshold * PAGES_PER_HUGE:
             return 0
         kernel.demote_region(proc, hvpn)
@@ -117,4 +122,8 @@ class BloatRecovery:
         kernel.stats.bloat_cpu_us += kernel.costs.scan_page_us(dedup_scanned)
         region.bloat_demoted = True
         self.regions_demoted += 1
+        if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.BLOAT_RECOVER, proc.name,
+                    kernel.costs.scan_page_us(dedup_scanned), hvpn,
+                    f"recovered={recovered}")
         return recovered

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.kernel.kthread import RateLimiter
 from repro.units import BASE_PAGE_SIZE, GB, SEC
 
@@ -48,6 +49,7 @@ class PreZeroThread:
         """Zero as many free dirty blocks as this epoch's budget allows."""
         kernel = self.kernel
         self._limiter.refill()
+        cpu_before = kernel.stats.prezero_cpu_us
         zeroed = 0
         while True:
             block = kernel.buddy.pop_nonzero_block()
@@ -69,6 +71,10 @@ class PreZeroThread:
             kernel.stats.pages_prezeroed += pages
             kernel.stats.prezero_cpu_us += kernel.costs.zero_block_us(order)
         self._publish_interference(zeroed)
+        if zeroed and trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.PREZERO, "kzerod",
+                    kernel.stats.prezero_cpu_us - cpu_before,
+                    detail=f"pages={zeroed}")
         return zeroed
 
     def _affordable(self, pages: int) -> bool:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro import trace
 from repro.core.access_map import AccessMap
 from repro.kernel.kthread import RateLimiter
 from repro.vm.process import Process
@@ -92,6 +93,9 @@ class PromotionEngine:
                 continue
             amap.remove(hvpn)
             done += 1
+        if done and trace.enabled and (tp := self.kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.KTHREAD_EPOCH, "khugepaged",
+                    detail=f"promoted={done}")
         return done
 
     # ------------------------------------------------------------------ #

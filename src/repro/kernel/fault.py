@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.policies.base import HugePagePolicy
 from repro.units import PAGES_PER_HUGE
 from repro.vm.process import Process
@@ -96,6 +97,8 @@ def _try_huge_fault(kernel: "Kernel", proc: Process, vma: VMA, hvpn: int, anon: 
     kernel.stats.faults += 1
     kernel.stats.huge_faults += 1
     kernel.policy.post_fault(proc, vma, hvpn << 9, huge=True)
+    if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+        tp.emit(trace.TraceKind.FAULT_HUGE, proc.name, latency, hvpn)
     return latency
 
 
@@ -113,9 +116,12 @@ def _base_fault(
         backing_us = kernel.notify_alloc(frame, 1)
     swapped_in = kernel.swap is not None and kernel.swap.is_swapped(proc.pid, vpn)
     if swapped_in:
-        backing_us += kernel.swap.swap_in(proc.pid, vpn)
+        swap_us = kernel.swap.swap_in(proc.pid, vpn)
+        backing_us += swap_us
         # The page's old (non-zero) content comes back from swap.
         kernel.frames.write(frame, first_nonzero=9)
+        if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.SWAP_IN, proc.name, swap_us, vpn)
     needs_zero = not swapped_in and anon and (not zeroed or not policy.trusts_zero_lists)
     if needs_zero:
         kernel.frames.zero_fill(frame, 1)
@@ -129,6 +135,8 @@ def _base_fault(
     proc.fault_time_epoch_us += latency
     kernel.stats.faults += 1
     policy.post_fault(proc, vma, vpn, huge=False)
+    if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+        tp.emit(trace.TraceKind.FAULT_BASE, proc.name, latency, vpn)
     return latency
 
 
@@ -325,6 +333,13 @@ def _bulk_base_fault(
         kernel.rmap_add_range(proc, vpn0 + done, ext)
         if content is not None:
             _write_content_run(kernel, start, take, content)
+        if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+            # Per-page events, identical to the scalar loop's stream: same
+            # kind, process, vpn order and span (per_page is exactly the
+            # scalar latency — the bulk path has no backing hook or swap).
+            for i in range(take):
+                tp.emit(trace.TraceKind.FAULT_BASE, proc.name, per_page,
+                        vpn0 + done + i)
         run_us = take * per_page
         total += take * inc
         done += take
@@ -389,6 +404,8 @@ def _cow_break_shared(kernel: "Kernel", proc: Process, vpn: int) -> float:
     proc.fault_time_epoch_us += latency
     kernel.stats.faults += 1
     kernel.stats.cow_faults += 1
+    if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+        tp.emit(trace.TraceKind.FAULT_COW, proc.name, latency, vpn, "ksm")
     return latency
 
 
@@ -411,4 +428,6 @@ def _cow_break(kernel: "Kernel", proc: Process, vpn: int) -> float:
     proc.fault_time_epoch_us += latency
     kernel.stats.faults += 1
     kernel.stats.cow_faults += 1
+    if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+        tp.emit(trace.TraceKind.FAULT_COW, proc.name, latency, vpn, "zero")
     return latency

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro import trace
 from repro.errors import InvalidAddressError, OutOfMemoryError
 from repro.kernel.costs import CostModel
 from repro.kernel.fault import handle_fault, handle_fault_range
@@ -113,6 +114,10 @@ class Kernel:
         self.compactor = Compactor(self.buddy, self._migrate_frame)
         self.mmu = MMUModel(config.tlb)
         self.stats = KernelStats()
+        #: tracepoint sink; attach with :func:`repro.trace.attach`.  Every
+        #: emission site first tests the module-level ``trace.enabled``
+        #: flag, so this slot costs nothing while it stays None.
+        self.trace: Optional[trace.Tracer] = None
         self.now_us = 0.0
         self.processes: list[Process] = []
         self.runs: list["WorkloadRun"] = []
@@ -288,6 +293,9 @@ class Kernel:
                 cost += 0.2
         self.policy.on_madvise_free(proc, vpn, npages)
         proc.fault_time_epoch_us += cost
+        if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.MADVISE_FREE, proc.name, cost,
+                    vpn >> 9, f"pages={npages}")
         return cost
 
     @staticmethod
@@ -396,6 +404,11 @@ class Kernel:
             freed = self.swap.swap_out(PAGES_PER_HUGE)
         if freed == 0:
             self.stats.oom_kills += 1
+            if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+                tp.emit(
+                    trace.TraceKind.OOM, "kernel",
+                    detail=f"allocated={self.buddy.allocated_pages}/{self.buddy.total_pages}",
+                )
             raise OutOfMemoryError(
                 f"out of memory at t={self.now_us / SEC:.0f}s "
                 f"({self.buddy.allocated_pages}/{self.buddy.total_pages} pages allocated)"
@@ -407,6 +420,12 @@ class Kernel:
         if got is None and compact:
             run = self.compactor.run(self.config.compact_budget_pages)
             self.stats.compaction_pages_moved += run.pages_moved
+            if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+                # Compaction charges no simulated clock; the span is the
+                # modelled copy cost of the pages it migrated.
+                tp.emit(trace.TraceKind.COMPACT, "direct",
+                        run.pages_moved * self.costs.copy_base_us,
+                        detail=f"pages_moved={run.pages_moved}")
             got = self.buddy.try_alloc(9, prefer_zero, owner)
         if got is not None:
             self.stats.khugepaged_cpu_us += self.notify_alloc(got[0], PAGES_PER_HUGE)
@@ -522,6 +541,10 @@ class Kernel:
         proc.fault_time_epoch_us += self.costs.promotion_stall_us
         self.stats.count_promotion(proc.name, collapsed)
         self.stats.khugepaged_cpu_us += cost
+        if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+            kind = (trace.TraceKind.PROMOTE_COLLAPSE if collapsed
+                    else trace.TraceKind.PROMOTE_INPLACE)
+            tp.emit(kind, proc.name, cost, hvpn)
         return cost
 
     @staticmethod
@@ -551,6 +574,8 @@ class Kernel:
         region.resident = PAGES_PER_HUGE
         proc.stats.demotions += 1
         self.stats.demotions += 1
+        if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.DEMOTE, proc.name, self.costs.remap_us, hvpn)
         return self.costs.remap_us
 
     def dedup_zero_pages(self, proc: Process, hvpn: int) -> tuple[int, int]:
@@ -650,6 +675,10 @@ class Kernel:
         if budget > 0:
             run = self.compactor.run(budget)
             self.stats.compaction_pages_moved += run.pages_moved
+            if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.COMPACT, "kcompactd",
+                        run.pages_moved * self.costs.copy_base_us,
+                        detail=f"pages_moved={run.pages_moved}")
 
     def _sample_access_bits(self) -> None:
         """Paper §3.3: clear access bits, wait one second, read them back.
@@ -671,4 +700,8 @@ class Kernel:
                 region.coverage_ema = alpha * sample + (1.0 - alpha) * region.coverage_ema
                 scanned += 1
             self.stats.sampler_cpu_us += scanned * self.costs.sample_region_us
+            if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.KTHREAD_EPOCH, "ksampled",
+                        scanned * self.costs.sample_region_us,
+                        detail=f"proc={proc.name} regions={scanned}")
             self.policy.on_sample(proc)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import trace
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.kernel import Kernel
 
@@ -63,6 +65,9 @@ class SwapDevice:
             self.swapped.add((proc.pid, vpn))
             self.swap_outs += 1
             self.io_time_us += kernel.costs.swap_page_us
+            if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.SWAP_OUT, proc.name,
+                        kernel.costs.swap_page_us, vpn)
             freed += 1
         return freed
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.kernel.kthread import RateLimiter
 from repro.mem.frames import ZERO_TAG
 from repro.units import BASE_PAGE_SIZE
@@ -112,10 +113,16 @@ class SamePageMerger:
     def run_epoch(self) -> int:
         """Scan up to this epoch's budget of pages; returns pages merged."""
         self._limiter.refill()
+        compared_before = self.bytes_compared
         merged = 0
         for proc in list(self.kernel.processes):
             merged += self._scan_process(proc)
         self.merged_pages += merged
+        if merged and trace.enabled and (tp := self.kernel.trace) is not None and tp.enabled:
+            compares = (self.bytes_compared - compared_before) // BASE_PAGE_SIZE
+            tp.emit(trace.TraceKind.KSM_MERGE, "ksmd",
+                    compares * self.kernel.costs.ksm_compare_us,
+                    detail=f"merged={merged} compared={compares}")
         return merged
 
     def _scan_process(self, proc) -> int:

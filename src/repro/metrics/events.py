@@ -1,21 +1,28 @@
 """Structured kernel event tracing.
 
 An :class:`EventLog` captures discrete policy decisions — promotions,
-demotions, bloat-recovery demotions, OOM kills, compaction runs — with
-timestamps, so experiments can reconstruct *why* a run behaved as it did
-(the per-process promotion timelines of Figures 6 and 7 are queries over
-this log).
+demotions, huge faults, madvise releases, OOM kills — with timestamps, so
+experiments can reconstruct *why* a run behaved as it did (the
+per-process promotion timelines of Figures 6 and 7 are queries over this
+log).
 
-The log hooks the kernel non-invasively by wrapping the relevant methods;
-attach with :meth:`EventLog.attach`.
+The log is a thin compatibility consumer of the first-class tracepoint
+stream (:mod:`repro.trace`): :meth:`EventLog.attach` attaches a tracer to
+the kernel and subscribes, translating the tracepoints it understands
+into the stable :class:`Event` records the figure queries use.  Unlike
+the pre-tracepoint wrapper approach this sees *every* path — including
+the batched ``fault_range`` fast path, which method wrapping silently
+bypassed.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from repro import trace
 from repro.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,6 +36,17 @@ class EventKind(enum.Enum):
     FAULT_HUGE = "fault_huge"
     MADVISE_FREE = "madvise_free"
     OOM = "oom"
+
+
+#: tracepoints the compatibility log translates into :class:`Event`s.
+_KIND_MAP: dict[trace.TraceKind, EventKind] = {
+    trace.TraceKind.PROMOTE_COLLAPSE: EventKind.PROMOTION,
+    trace.TraceKind.PROMOTE_INPLACE: EventKind.PROMOTION,
+    trace.TraceKind.DEMOTE: EventKind.DEMOTION,
+    trace.TraceKind.FAULT_HUGE: EventKind.FAULT_HUGE,
+    trace.TraceKind.MADVISE_FREE: EventKind.MADVISE_FREE,
+    trace.TraceKind.OOM: EventKind.OOM,
+}
 
 
 @dataclass(frozen=True)
@@ -52,12 +70,25 @@ class EventLog:
 
     events: list[Event] = field(default_factory=list)
     capacity: int = 100_000
+    #: events discarded because the log was full (tracing must never OOM
+    #: the tracer, but dropping silently hides truncated histories).
+    dropped: int = 0
+    _warned_drop: bool = field(default=False, repr=False)
 
     def record(self, kernel: "Kernel", kind: EventKind, process: str,
                hvpn: int | None = None, detail: str = "") -> None:
-        """Append one event (no-op once the capacity bound is reached)."""
+        """Append one event; at capacity it is counted as dropped instead."""
         if len(self.events) >= self.capacity:
-            return  # bounded: tracing must never OOM the tracer
+            self.dropped += 1
+            if not self._warned_drop:
+                self._warned_drop = True
+                warnings.warn(
+                    f"EventLog full ({self.capacity} events): dropping new "
+                    "events (see EventLog.dropped)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
         self.events.append(
             Event(kernel.now_us / SEC, kind, process, hvpn, detail)
         )
@@ -67,36 +98,25 @@ class EventLog:
     # ------------------------------------------------------------------ #
 
     def attach(self, kernel: "Kernel") -> "EventLog":
-        """Wrap the kernel's decision points to feed this log."""
-        log = self
+        """Subscribe this log to the kernel's tracepoint stream.
 
-        original_promote = kernel.promote_region
-
-        def promote(proc, hvpn):
-            result = original_promote(proc, hvpn)
-            if result is not None:
-                log.record(kernel, EventKind.PROMOTION, proc.name, hvpn,
-                           f"cost={result:.0f}us")
-            return result
-
-        original_demote = kernel.demote_region
-
-        def demote(proc, hvpn):
-            result = original_demote(proc, hvpn)
-            log.record(kernel, EventKind.DEMOTION, proc.name, hvpn)
-            return result
-
-        original_madvise = kernel.madvise_free
-
-        def madvise(proc, vpn, npages):
-            log.record(kernel, EventKind.MADVISE_FREE, proc.name, vpn >> 9,
-                       f"pages={npages}")
-            return original_madvise(proc, vpn, npages)
-
-        kernel.promote_region = promote
-        kernel.demote_region = demote
-        kernel.madvise_free = madvise
+        Attaches a :class:`repro.trace.Tracer` to the kernel (reusing an
+        existing one) and translates the policy-decision tracepoints into
+        :class:`Event` records.
+        """
+        self._kernel = kernel
+        trace.attach(kernel).subscribe(self._on_trace)
         return self
+
+    def _on_trace(self, event: trace.TraceEvent) -> None:
+        """Tracepoint consumer: translate and record known kinds."""
+        kind = _KIND_MAP.get(event.kind)
+        if kind is None:
+            return
+        detail = event.detail
+        if kind is EventKind.PROMOTION:
+            detail = f"cost={event.span_us:.0f}us"
+        self.record(self._kernel, kind, event.process, event.page, detail)
 
     # ------------------------------------------------------------------ #
     # queries                                                             #
@@ -127,6 +147,14 @@ class EventLog:
         for e in self.of_kind(kind):
             bucket = (e.t_seconds // bucket_seconds) * bucket_seconds
             out[bucket] = out.get(bucket, 0) + 1
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """Per-kind event counts plus the ``dropped`` total."""
+        out = {kind.value: 0 for kind in EventKind}
+        for e in self.events:
+            out[e.kind.value] += 1
+        out["dropped"] = self.dropped
         return out
 
     def __len__(self) -> int:

@@ -11,7 +11,9 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
+
+from repro.trace import TraceEvent, TraceKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.events import EventLog
@@ -21,22 +23,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def series_to_csv(recorder: "SeriesRecorder") -> str:
     """All of a recorder's series as one CSV (time + one column each).
 
-    Series are sampled on the same epochs, so their time axes align;
-    ragged series (probes added mid-run) are padded with blanks.
+    Rows are aligned by *timestamp* (the union of every series' time
+    axis, ascending), so ragged series — probes added mid-run, or series
+    sampled on different schedules — keep their values on the correct
+    rows, with blanks where a series has no sample at that time.
     """
     names = list(recorder.series)
     if not names:
         return "t_seconds\n"
-    longest = max(recorder.series.values(), key=len)
+    times = sorted({t for series in recorder.series.values() for t in series.times})
+    by_time = {
+        name: dict(zip(series.times, series.values))
+        for name, series in recorder.series.items()
+    }
     out = io.StringIO()
     writer = csv.writer(out)
     writer.writerow(["t_seconds"] + names)
-    for i, t in enumerate(longest.times):
-        row = [t]
-        for name in names:
-            series = recorder.series[name]
-            row.append(series.values[i] if i < len(series) else "")
-        writer.writerow(row)
+    for t in times:
+        writer.writerow([t] + [by_time[name].get(t, "") for name in names])
     return out.getvalue()
 
 
@@ -69,6 +73,43 @@ def events_to_csv(log: "EventLog") -> str:
         writer.writerow([e.t_seconds, e.kind.value, e.process,
                          "" if e.hvpn is None else e.hvpn, e.detail])
     return out.getvalue()
+
+
+def trace_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Tracepoint stream as JSON Lines (one record per line).
+
+    The inverse of :func:`trace_from_jsonl`; ``repro trace run`` writes
+    this format and ``repro trace view`` replays it.
+    """
+    lines = []
+    for e in events:
+        record = {"t_us": e.t_us, "kind": e.kind.value, "process": e.process,
+                  "span_us": e.span_us}
+        if e.page is not None:
+            record["page"] = e.page
+        if e.detail:
+            record["detail"] = e.detail
+        lines.append(json.dumps(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse a JSONL trace back into :class:`repro.trace.TraceEvent`s."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(TraceEvent(
+            t_us=record["t_us"],
+            kind=TraceKind(record["kind"]),
+            process=record["process"],
+            span_us=record.get("span_us", 0.0),
+            page=record.get("page"),
+            detail=record.get("detail", ""),
+        ))
+    return events
 
 
 def snapshot_to_json(kernel) -> str:

@@ -1,0 +1,409 @@
+"""First-class kernel tracepoints with latency histograms.
+
+The simulator's policy decisions and cost-charging sites emit structured
+:class:`TraceEvent` records through a per-kernel :class:`Tracer` — the
+analogue of Linux's static tracepoints read through ``perf``/eBPF.  Every
+event carries the *simulated-time span* the site charged (fault latency,
+promotion cost, scan time, …), so a recorded run decomposes into a
+per-subsystem time-attribution table (:func:`attribution`) — a free
+generalisation of the paper's Tables 1 and 8.
+
+Zero-cost-when-disabled contract: every emission site is guarded by the
+module-level :data:`enabled` flag *first*, so with no tracer attached the
+only per-event cost is one global-bool test (the analogue of a nop-patched
+static branch).  ``repro bench touch`` gates this: a tracer attached with
+``tracer.enabled = False`` must cost < 5 % over no tracer at all.
+
+Usage::
+
+    from repro import trace
+
+    tracer = trace.attach(kernel)
+    ... run the workload ...
+    print(trace.format_attribution(tracer.attribution()))
+    trace.detach(kernel)
+
+Events land in a bounded ring-buffer-style sink that **drops new events
+when full** (like ``perf``'s ring buffer), counting drops; the per-kind
+event counts, span totals and latency histograms are updated on every
+emission and therefore stay exact even when the event list saturates.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+#: Global master switch, managed by :func:`attach` / :func:`detach`.
+#: Emission sites test this module attribute before anything else, so a
+#: kernel with no tracer pays a single bool check per potential event.
+enabled: bool = False
+
+#: Number of kernels with a tracer currently attached (drives ``enabled``).
+_attached: int = 0
+
+#: Default ring-buffer capacity (events kept before drops start).
+DEFAULT_CAPACITY = 200_000
+
+
+class TraceKind(enum.Enum):
+    """The tracepoint catalogue.
+
+    Values are dotted ``subsystem.event`` names; the prefix before the
+    first dot is the *subsystem* used for attribution grouping, and
+    filters accept either the full name or the bare subsystem.
+    """
+
+    FAULT_BASE = "fault.base"
+    FAULT_HUGE = "fault.huge"
+    FAULT_COW = "fault.cow"
+    PROMOTE_COLLAPSE = "promote.collapse"
+    PROMOTE_INPLACE = "promote.inplace"
+    DEMOTE = "demote"
+    MADVISE_FREE = "madvise.free"
+    BLOAT_SCAN = "bloat.scan"
+    BLOAT_RECOVER = "bloat.recover"
+    COMPACT = "compact"
+    PREZERO = "prezero"
+    SWAP_IN = "swap.in"
+    SWAP_OUT = "swap.out"
+    KSM_MERGE = "ksm.merge"
+    OOM = "oom"
+    KTHREAD_EPOCH = "kthread.epoch"
+
+    @property
+    def subsystem(self) -> str:
+        """Attribution group: the part of the name before the first dot."""
+        return self.value.split(".", 1)[0]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One emitted tracepoint record.
+
+    ``span_us`` is the simulated time the site charged for the traced
+    operation (0 for pure decision events); ``page`` is a vpn for
+    base-page-granularity events and an hvpn for huge-region-granularity
+    ones (see ``docs/observability.md`` for the per-kind convention).
+    """
+
+    t_us: float
+    kind: TraceKind
+    process: str
+    span_us: float = 0.0
+    page: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def t_seconds(self) -> float:
+        """Timestamp in simulated seconds."""
+        return self.t_us / SEC
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" page={self.page}" if self.page is not None else ""
+        return (
+            f"[{self.t_seconds:9.3f}s] {self.kind.value:<16} "
+            f"{self.process:<12} span={self.span_us:.2f}us{where} {self.detail}"
+        )
+
+
+class LatencyHistogram:
+    """Power-of-two latency buckets, like ``perf``'s log2 histograms.
+
+    Bucket ``i`` counts samples with ``2**i <= span_us < 2**(i+1)``;
+    sub-microsecond samples land in negative buckets and zero spans in a
+    dedicated underflow bucket.
+    """
+
+    #: bucket index used for exactly-zero samples.
+    ZERO_BUCKET = -64
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total_us = 0.0
+        self.min_us = float("inf")
+        self.max_us = 0.0
+
+    def add(self, span_us: float) -> None:
+        """Record one latency sample."""
+        if span_us <= 0.0:
+            idx = self.ZERO_BUCKET
+        else:
+            # frexp: span = m * 2**e with 0.5 <= m < 1, so the enclosing
+            # power-of-two bucket [2**(e-1), 2**e) has index e - 1.
+            idx = math.frexp(span_us)[1] - 1
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total_us += span_us
+        if span_us < self.min_us:
+            self.min_us = span_us
+        if span_us > self.max_us:
+            self.max_us = span_us
+
+    @property
+    def mean_us(self) -> float:
+        """Mean sample value in µs (0 when empty)."""
+        return self.total_us / self.count if self.count else 0.0
+
+    def items(self) -> list[tuple[int, int]]:
+        """``(bucket_index, count)`` pairs in ascending bucket order."""
+        return sorted(self.buckets.items())
+
+    @staticmethod
+    def bucket_bounds(idx: int) -> tuple[float, float]:
+        """The ``[lo, hi)`` µs range of bucket ``idx``."""
+        if idx == LatencyHistogram.ZERO_BUCKET:
+            return 0.0, 0.0
+        return 2.0 ** idx, 2.0 ** (idx + 1)
+
+
+class Tracer:
+    """Per-kernel tracepoint sink: ring buffer, exact counters, consumers.
+
+    The event list is bounded by ``capacity``; once full, **new events are
+    dropped** (and counted in :attr:`dropped`) — the per-kind counters,
+    span totals and histograms keep updating, so :meth:`attribution`
+    remains exact regardless of drops.  ``consumers`` receive every event
+    (drops included) and back live consumers such as
+    :class:`repro.metrics.events.EventLog`.
+    """
+
+    def __init__(self, kernel: "Kernel", capacity: int = DEFAULT_CAPACITY):
+        self.kernel = kernel
+        self.capacity = capacity
+        #: per-tracer gate: False pauses emission while staying attached
+        #: (the disabled-overhead benchmark measures exactly this state).
+        self.enabled = True
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._warned_drop = False
+        self.counts: dict[TraceKind, int] = {}
+        self.spans: dict[TraceKind, float] = {}
+        self.histograms: dict[TraceKind, LatencyHistogram] = {}
+        self.consumers: list[Callable[[TraceEvent], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # emission                                                            #
+    # ------------------------------------------------------------------ #
+
+    def emit(
+        self,
+        kind: TraceKind,
+        process: str,
+        span_us: float = 0.0,
+        page: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """Emit one event at the kernel's current simulated time."""
+        event = TraceEvent(self.kernel.now_us, kind, process, span_us, page, detail)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.spans[kind] = self.spans.get(kind, 0.0) + span_us
+        if span_us > 0.0:
+            hist = self.histograms.get(kind)
+            if hist is None:
+                hist = self.histograms[kind] = LatencyHistogram()
+            hist.add(span_us)
+        if len(self.events) < self.capacity:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+            if not self._warned_drop:
+                self._warned_drop = True
+                warnings.warn(
+                    f"trace ring buffer full ({self.capacity} events): "
+                    "dropping new events (counters stay exact)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        for consumer in self.consumers:
+            consumer(event)
+
+    def subscribe(self, consumer: Callable[[TraceEvent], None]) -> None:
+        """Register a callable invoked for every emitted event."""
+        self.consumers.append(consumer)
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def of_kind(self, kind: TraceKind) -> list[TraceEvent]:
+        """Buffered events of one kind, in emission order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def for_process(self, process: str) -> list[TraceEvent]:
+        """Buffered events attributed to one process name."""
+        return [e for e in self.events if e.process == process]
+
+    def filter(
+        self,
+        kinds: Sequence[str] | None = None,
+        process: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[TraceEvent]:
+        """Buffered events through :func:`filter_events`."""
+        return filter_events(self.events, kinds, process, since, until)
+
+    def attribution(self) -> dict[str, tuple[int, float]]:
+        """Exact per-subsystem ``(events, span_us)`` totals (drop-immune)."""
+        out: dict[str, tuple[int, float]] = {}
+        for kind, count in self.counts.items():
+            sub = kind.subsystem
+            prev = out.get(sub, (0, 0.0))
+            out[sub] = (prev[0] + count, prev[1] + self.spans.get(kind, 0.0))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(self.events)
+
+
+# ---------------------------------------------------------------------- #
+# attachment                                                              #
+# ---------------------------------------------------------------------- #
+
+
+def attach(kernel: "Kernel", capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Attach a :class:`Tracer` to ``kernel`` and arm the global flag.
+
+    Returns the kernel's existing tracer unchanged if one is already
+    attached (re-attachment is idempotent).
+    """
+    global enabled, _attached
+    if kernel.trace is not None:
+        return kernel.trace
+    tracer = Tracer(kernel, capacity)
+    kernel.trace = tracer
+    _attached += 1
+    enabled = True
+    return tracer
+
+
+def detach(kernel: "Kernel") -> Tracer | None:
+    """Detach ``kernel``'s tracer; disarm the flag when none remain.
+
+    Returns the detached tracer (its buffered events stay readable), or
+    None if the kernel had no tracer.
+    """
+    global enabled, _attached
+    tracer = kernel.trace
+    if tracer is None:
+        return None
+    kernel.trace = None
+    _attached -= 1
+    if _attached <= 0:
+        _attached = 0
+        enabled = False
+    return tracer
+
+
+def reset() -> None:
+    """Force the module back to the no-tracer state (test isolation)."""
+    global enabled, _attached
+    enabled = False
+    _attached = 0
+
+
+# ---------------------------------------------------------------------- #
+# stream helpers (work on any TraceEvent iterable, live or replayed)      #
+# ---------------------------------------------------------------------- #
+
+
+def _kind_matches(kind: TraceKind, wanted: Sequence[str]) -> bool:
+    """Whether a kind matches any filter term (full name or subsystem)."""
+    for term in wanted:
+        if kind.value == term or kind.subsystem == term:
+            return True
+    return False
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    kinds: Sequence[str] | None = None,
+    process: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> list[TraceEvent]:
+    """Filter an event stream by kind/subsystem, process and time window.
+
+    ``kinds`` entries may be full tracepoint names (``"fault.base"``) or
+    bare subsystems (``"fault"``); ``since``/``until`` are simulated
+    seconds, half-open ``[since, until)``.
+    """
+    out = []
+    for e in events:
+        if kinds and not _kind_matches(e.kind, kinds):
+            continue
+        if process is not None and e.process != process:
+            continue
+        t = e.t_us / SEC
+        if since is not None and t < since:
+            continue
+        if until is not None and t >= until:
+            continue
+        out.append(e)
+    return out
+
+
+def attribution(events: Iterable[TraceEvent]) -> dict[str, tuple[int, float]]:
+    """Per-subsystem ``(events, span_us)`` totals over an event stream.
+
+    Use :meth:`Tracer.attribution` on a live tracer instead — it stays
+    exact when the ring buffer drops; this helper serves replayed or
+    filtered streams.
+    """
+    out: dict[str, tuple[int, float]] = {}
+    for e in events:
+        sub = e.kind.subsystem
+        prev = out.get(sub, (0, 0.0))
+        out[sub] = (prev[0] + 1, prev[1] + e.span_us)
+    return out
+
+
+def format_attribution(
+    table: dict[str, tuple[int, float]], title: str = "simulated-time attribution"
+) -> str:
+    """Render an attribution table as aligned text, largest span first."""
+    from repro.metrics.tables import format_table
+
+    total_us = sum(span for _, span in table.values()) or 1.0
+    rows = [
+        (sub, count, span / 1000.0, 100.0 * span / total_us)
+        for sub, (count, span) in sorted(
+            table.items(), key=lambda item: -item[1][1]
+        )
+    ]
+    return format_table(
+        ["subsystem", "events", "time_ms", "share_%"], rows, title=title
+    )
+
+
+def format_histogram(hist: LatencyHistogram, title: str, width: int = 40) -> str:
+    """Render one latency histogram perf-style (log2 buckets, hash bars)."""
+    lines = [
+        f"{title}: {hist.count} samples, "
+        f"mean {hist.mean_us:.2f}us, min {hist.min_us:.2f}us, max {hist.max_us:.2f}us"
+    ]
+    if not hist.count:
+        return lines[0]
+    peak = max(count for _, count in hist.items())
+    for idx, count in hist.items():
+        lo, hi = LatencyHistogram.bucket_bounds(idx)
+        bar = "#" * max(1, round(width * count / peak))
+        if idx == LatencyHistogram.ZERO_BUCKET:
+            label = f"{'0':>10} us"
+        else:
+            label = f"{lo:>10.3g} us"
+        lines.append(f"  {label} .. {hi:>10.3g}: {count:>8}  {bar}")
+    return "\n".join(lines)

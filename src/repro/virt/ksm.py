@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.kernel.kthread import RateLimiter
 from repro.units import PAGES_PER_HUGE
 
@@ -47,9 +48,15 @@ class KSMThread:
     def run_epoch(self) -> int:
         """Scan VM backing regions round-robin and merge guest-zero pages."""
         self._limiter.refill()
+        host = self.hypervisor.host
+        cpu_before = host.stats.khugepaged_cpu_us
         merged = 0
         for vm in self.hypervisor.vms:
             merged += self._scan_vm(vm)
+        if merged and trace.enabled and (tp := host.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.KSM_MERGE, "ksmd",
+                    host.stats.khugepaged_cpu_us - cpu_before,
+                    detail=f"merged={merged}")
         return merged
 
     def _scan_vm(self, vm) -> int:

@@ -4,10 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+from repro import trace
 from repro.core.hawkeye import HawkEyePolicy
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.policies.linux import Linux4KPolicy, LinuxTHPPolicy
 from repro.units import MB
+
+
+@pytest.fixture(autouse=True)
+def _reset_trace():
+    """Disarm the global tracepoint flag after every test (isolation)."""
+    yield
+    trace.reset()
 
 
 def small_config(mem_mb: int = 64, **overrides) -> KernelConfig:

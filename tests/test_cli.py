@@ -78,3 +78,67 @@ def test_compare_rejects_unknown_policy(capsys):
         "compare", "sparsehash", "--policies", "linux-4kb,bogus",
     ])
     assert rc == 2
+
+
+def test_trace_run_writes_jsonl_and_summary(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    rc = main([
+        "trace", "run", "alloc-touch-free", "--policy", "hawkeye-g",
+        "--scale", "256", "--max-epochs", "500",
+        "--out", str(out), "--summary",
+    ])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "events emitted" in stdout
+    assert "subsystem" in stdout  # attribution-table header
+    assert "share_%" in stdout
+    lines = out.read_text().splitlines()
+    assert lines
+    import json
+
+    first = json.loads(lines[0])
+    assert {"t_us", "kind", "process"} <= set(first)
+
+
+def test_trace_run_kind_filter_restricts_output(tmp_path, capsys):
+    out = tmp_path / "faults.jsonl"
+    rc = main([
+        "trace", "run", "alloc-touch-free", "--policy", "linux-4kb",
+        "--scale", "256", "--max-epochs", "500",
+        "--out", str(out), "--kind", "fault",
+    ])
+    assert rc == 0
+    import json
+
+    kinds = {json.loads(line)["kind"] for line in out.read_text().splitlines()}
+    assert kinds
+    assert all(k.startswith("fault") for k in kinds)
+
+
+def test_trace_view_round_trip(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    main([
+        "trace", "run", "alloc-touch-free", "--policy", "hawkeye-g",
+        "--scale", "256", "--max-epochs", "500", "--out", str(out),
+    ])
+    capsys.readouterr()
+    rc = main(["trace", "view", str(out), "--limit", "5", "--summary", "--hist"])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "events (of" in stdout
+    assert "subsystem" in stdout
+
+
+def test_trace_view_missing_file(capsys):
+    assert main(["trace", "view", "/no/such/trace.jsonl"]) == 2
+
+
+def test_top_prints_snapshot_rows(capsys):
+    rc = main([
+        "top", "alloc-touch-free", "--policy", "linux-2mb",
+        "--scale", "256", "--max-epochs", "500", "--interval", "10",
+    ])
+    assert rc == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert "t_s" in lines[0] and "pgfault/s" in lines[0]
+    assert len(lines) > 2  # header + at least one sample + outcome line

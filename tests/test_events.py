@@ -68,8 +68,37 @@ def test_timeline_buckets():
     }
 
 
-def test_capacity_bounded(kernel4k):
+def test_capacity_bounded_counts_drops(kernel4k):
     log = EventLog(capacity=2)
-    for _ in range(5):
-        log.record(kernel4k, EventKind.OOM, "x")
+    with pytest.warns(RuntimeWarning, match="EventLog full"):
+        for _ in range(5):
+            log.record(kernel4k, EventKind.OOM, "x")
     assert len(log) == 2
+    assert log.dropped == 3
+    # the warning fires once, not per dropped event
+    log.record(kernel4k, EventKind.OOM, "x")
+    assert log.dropped == 4
+
+
+def test_summary_reports_counts_and_drops(traced):
+    kernel, log = traced
+    proc, vma = make_proc(kernel)
+    kernel.fault(proc, vma.start)
+    kernel.madvise_free(proc, vma.start, 10)
+    summary = log.summary()
+    assert summary["fault_huge"] == 1
+    assert summary["madvise_free"] == 1
+    assert summary["demotion"] == 1  # partial madvise splits the huge page
+    assert summary["dropped"] == 0
+
+
+def test_eventlog_is_trace_stream_consumer(traced):
+    kernel, log = traced
+    proc, vma = make_proc(kernel)
+    kernel.fault(proc, vma.start)
+    (event,) = log.of_kind(EventKind.FAULT_HUGE)
+    assert event.process == proc.name
+    assert event.hvpn == vma.start >> 9
+    # the log rides the shared tracer: same kernel slot, same stream
+    assert kernel.trace is not None
+    assert len(kernel.trace.events) >= len(log)

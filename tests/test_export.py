@@ -13,8 +13,11 @@ from repro.metrics.export import (
     series_to_csv,
     series_to_dict,
     snapshot_to_json,
+    trace_from_jsonl,
+    trace_to_jsonl,
 )
 from repro.metrics.series import SeriesRecorder, TimeSeries
+from repro.trace import TraceEvent, TraceKind
 from tests.conftest import spawn_simple
 
 
@@ -51,6 +54,41 @@ def test_events_json_and_csv():
     rows = list(csv.DictReader(io.StringIO(events_to_csv(log))))
     assert rows[1]["kind"] == "oom"
     assert rows[1]["hvpn"] == ""
+
+
+def test_series_csv_aligns_ragged_series_by_timestamp(kernel4k):
+    rec = SeriesRecorder(kernel4k)
+    rec.probe("free", lambda k: k.buddy.free_pages)
+    kernel4k.run_epochs(2)
+    # A probe added mid-run has no samples for the early epochs; rows must
+    # align by *timestamp*, not by index, leaving the early cells blank.
+    rec.probe("epochs", lambda k: k.stats.epochs)
+    kernel4k.run_epochs(2)
+    rows = list(csv.DictReader(io.StringIO(series_to_csv(rec))))
+    assert len(rows) == 4
+    assert [r["epochs"] for r in rows[:2]] == ["", ""]
+    assert float(rows[2]["epochs"]) == 3.0
+    assert float(rows[3]["epochs"]) == 4.0
+    # every row keeps the full-history series' value at its own timestamp
+    times = [float(r["t_seconds"]) for r in rows]
+    assert times == sorted(times)
+    assert all(r["free"] != "" for r in rows)
+
+
+def test_trace_jsonl_round_trip():
+    events = [
+        TraceEvent(1.5, TraceKind.FAULT_BASE, "p", 4.25, 42),
+        TraceEvent(2.0, TraceKind.OOM, "kernel", 0.0, None, "allocated=1.00"),
+    ]
+    text = trace_to_jsonl(events)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {"t_us": 1.5, "kind": "fault.base", "process": "p",
+                     "span_us": 4.25, "page": 42}
+    assert trace_from_jsonl(text) == events
+    assert trace_from_jsonl(text + "\n\n") == events  # blank lines skipped
+    assert trace_from_jsonl("") == []
 
 
 def test_snapshot_json(kernel_thp):

@@ -1,7 +1,9 @@
-"""Unit tests for the emulated performance counters (Table 4)."""
+"""Unit tests for the emulated performance counters (Table 4) and the
+bench regression gates."""
 
 import pytest
 
+from repro.perf import TRACE_OVERHEAD_CEILING, check_regression
 from repro.tlb.perf import LOAD_FRACTION, PMUCounters
 
 
@@ -37,3 +39,31 @@ def test_sample_with_no_progress_is_zero():
     pmu.record(100.0, 1000.0)
     pmu.sample()
     assert pmu.sample() == 0.0
+
+
+BASELINE = {"speedup": 4.0}
+
+
+def test_check_regression_passes_within_tolerance():
+    result = {"speedup": 3.5, "trace_overhead": 0.01}
+    assert check_regression(result, BASELINE) == []
+
+
+def test_check_regression_flags_speedup_collapse():
+    failures = check_regression({"speedup": 1.2, "trace_overhead": 0.0}, BASELINE)
+    assert len(failures) == 1 and "speedup" in failures[0]
+
+
+def test_check_regression_flags_trace_overhead():
+    result = {"speedup": 4.0, "trace_overhead": TRACE_OVERHEAD_CEILING}
+    failures = check_regression(result, BASELINE)
+    assert len(failures) == 1
+    assert "disabled-tracing overhead" in failures[0]
+    # just under the ceiling passes
+    result["trace_overhead"] = TRACE_OVERHEAD_CEILING - 0.001
+    assert check_regression(result, BASELINE) == []
+
+
+def test_check_regression_tolerates_pre_trace_results():
+    # results produced before the tracing gate carry no trace_overhead key
+    assert check_regression({"speedup": 4.0}, BASELINE) == []

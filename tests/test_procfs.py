@@ -52,3 +52,79 @@ def test_format_meminfo_layout(kernel4k):
     text = procfs.format_meminfo(kernel4k)
     assert "MemTotal:" in text
     assert text.strip().endswith("kB")
+
+
+MEMINFO_KEYS = {
+    "MemTotal", "MemFree", "MemAllocated", "FileCache", "AnonHugePages",
+    "ZeroedFree", "ZeroPageShared", "SwapUsed",
+}
+
+VMSTAT_KEYS = {
+    "pgfault", "pgfault_huge", "pgfault_cow", "thp_collapse_alloc",
+    "thp_promote_inplace", "thp_split", "pages_prezeroed",
+    "bloat_pages_recovered", "compact_pages_moved", "ksm_pages_merged",
+    "pgreclaim_file", "oom_kill", "pswpout", "pswpin",
+}
+
+SMAPS_KEYS = {
+    "name", "start_page", "size_kb", "rss_kb", "anon_huge_kb", "kind", "hint",
+}
+
+
+def test_meminfo_key_set_is_stable(kernel4k):
+    assert set(procfs.meminfo(kernel4k)) == MEMINFO_KEYS
+
+
+def test_vmstat_key_set_is_stable(kernel4k):
+    assert set(procfs.vmstat(kernel4k)) == VMSTAT_KEYS
+
+
+def test_smaps_key_set_is_stable(kernel4k):
+    proc, _vma = make_proc(kernel4k)
+    rows = procfs.smaps(kernel4k, proc)
+    assert rows and all(set(row) == SMAPS_KEYS for row in rows)
+
+
+def test_meminfo_invariants_hold_under_churn(kernel_thp):
+    proc, vma = make_proc(kernel_thp, nbytes=8 * MB)
+    for offset in range(0, 3 * PAGES_PER_HUGE, 7):
+        kernel_thp.fault(proc, vma.start + offset)
+    kernel_thp.madvise_free(proc, vma.start, PAGES_PER_HUGE + 5)
+    info = procfs.meminfo(kernel_thp)
+    assert info["MemTotal"] == info["MemFree"] + info["MemAllocated"]
+    assert 0 <= info["ZeroedFree"] <= info["MemFree"]
+    assert info["AnonHugePages"] <= info["MemAllocated"]
+    assert all(v >= 0 for v in info.values())
+
+
+def test_vmstat_counters_never_negative(kernel_thp):
+    proc, vma = make_proc(kernel_thp)
+    kernel_thp.fault(proc, vma.start)
+    kernel_thp.demote_region(proc, vma.start >> 9)
+    kernel_thp.run_epochs(3)
+    assert all(v >= 0 for v in procfs.vmstat(kernel_thp).values())
+
+
+def test_smaps_rss_bounded_by_size(kernel_thp):
+    proc, vma = make_proc(kernel_thp, nbytes=8 * MB)
+    for offset in range(0, vma.npages, 11):
+        kernel_thp.fault(proc, vma.start + offset)
+    for row in procfs.smaps(kernel_thp, proc):
+        assert 0 <= row["rss_kb"] <= row["size_kb"]
+        assert row["anon_huge_kb"] <= row["size_kb"]
+
+
+def test_swap_accounting_in_meminfo_and_vmstat():
+    from repro.kernel.kernel import Kernel, KernelConfig
+    from repro.policies.linux import Linux4KPolicy
+
+    kernel = Kernel(
+        KernelConfig(mem_bytes=4 * MB, swap_bytes=4 * MB), Linux4KPolicy)
+    proc, vma = make_proc(kernel, nbytes=8 * MB)
+    for offset in range(1200):
+        kernel.fault(proc, vma.start + offset)
+    info = procfs.meminfo(kernel)
+    stats = procfs.vmstat(kernel)
+    assert info["SwapUsed"] > 0
+    assert stats["pswpout"] > 0
+    assert info["SwapUsed"] == (stats["pswpout"] - stats["pswpin"]) * 4

@@ -9,6 +9,11 @@ free lists (contents *and* dict order, which drives future allocations),
 frame-table arrays and fault counters.  Latency totals may differ only
 by float rounding (they are charged as ``count x per-page cost``).
 
+The equivalence extends to the tracepoint stream: both paths must emit
+the *same events in the same order* — kind, process, page and detail
+exactly equal, spans equal up to the same float-rounding tolerance — so
+a trace of a batched run explains it as faithfully as a scalar one.
+
 Budget stops are covered deterministically in ``tests/test_fault_range``
 (a razor-edge budget that is an exact float multiple of the per-page
 increment could legitimately round to a different page count, so random
@@ -22,6 +27,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
+from repro import trace
 from repro.errors import OutOfMemoryError
 from repro.experiments import POLICIES, Scale
 from repro.kernel.kernel import Kernel, KernelConfig
@@ -72,10 +78,11 @@ def _build(policy_name: str, batched: bool):
     Process._next_pid = 1  # class-global counter: reset so owner arrays compare
     kernel = Kernel(KernelConfig(mem_bytes=16 * MB), POLICIES[policy_name](Scale(1 / 128)))
     kernel.batched_faults = batched
+    tracer = trace.attach(kernel)
     run = kernel.spawn(_Idle())
     proc = run.proc
     kernel.mmap(proc, REGION_PAGES * 4096, "heap")
-    return kernel, proc
+    return kernel, proc, tracer
 
 
 def _apply(kernel, proc, ops, batched) -> tuple[float, bool]:
@@ -140,12 +147,21 @@ def _snapshot(kernel, proc) -> dict:
 @settings(max_examples=25, deadline=None)
 @given(ops=ops_strategy)
 def test_batched_equals_scalar(policy_name, ops):
-    ks, ps = _build(policy_name, batched=False)
+    ks, ps, ts = _build(policy_name, batched=False)
     scalar_total, scalar_oom = _apply(ks, ps, ops, batched=False)
-    kb, pb = _build(policy_name, batched=True)
+    kb, pb, tb = _build(policy_name, batched=True)
     batched_total, batched_oom = _apply(kb, pb, ops, batched=True)
 
     assert scalar_oom == batched_oom
+    # Event-stream equality: same tracepoints, same order, same spans
+    # (up to the count x per-page float-rounding the latency totals get).
+    assert ts.dropped == 0 and tb.dropped == 0
+    meta_s = [(e.t_us, e.kind, e.process, e.page, e.detail) for e in ts.events]
+    meta_b = [(e.t_us, e.kind, e.process, e.page, e.detail) for e in tb.events]
+    assert meta_b == meta_s, f"{policy_name}: event streams diverged"
+    assert [e.span_us for e in tb.events] == pytest.approx(
+        [e.span_us for e in ts.events], rel=1e-9, abs=1e-6
+    )
     snap_s, snap_b = _snapshot(ks, ps), _snapshot(kb, pb)
     for key in snap_s:
         assert snap_s[key] == snap_b[key], f"{policy_name}: {key} diverged"
