@@ -13,6 +13,8 @@ reproduction target, not absolute numbers.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import Scale
@@ -20,10 +22,42 @@ from repro.experiments import Scale
 #: default scale for benchmark experiments (48 GB machine -> 384 MB).
 BENCH_SCALE = Scale(1 / 128)
 
+#: worker processes for runner-backed benchmarks (0/1 = in-process).
+SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "4"))
+
 
 @pytest.fixture
 def scale() -> Scale:
     return BENCH_SCALE
+
+
+def sweep_results(experiment: str, scale: Scale = BENCH_SCALE,
+                  jobs: int | None = None) -> dict:
+    """Fetch an experiment's grid through the cached sweep runner.
+
+    Returns ``{(case, policy): result}`` for every cell.  Unchanged
+    reruns are served from the result cache (``.sweep-cache`` or
+    ``$REPRO_SWEEP_CACHE``), so the pytest assertions re-check cached
+    cells without re-simulating; ``repro sweep clean`` forces a rerun.
+    Raises if any cell failed, with its captured error.
+    """
+    from repro.runner import ResultCache, cells_for, run_sweep
+
+    cells = cells_for(experiment, scale.denominator)
+    report = run_sweep(
+        cells,
+        jobs=SWEEP_JOBS if jobs is None else jobs,
+        cache=ResultCache(),
+        retries=0,
+    )
+    bad = [o for o in report.outcomes if not o.good]
+    if bad:
+        detail = "; ".join(
+            f"{o.cell.cell_id}: {o.status} ({(o.error or '').splitlines()[-1]})"
+            for o in bad
+        )
+        raise RuntimeError(f"{len(bad)} sweep cells failed: {detail}")
+    return {(o.cell.case, o.cell.policy): o.result for o in report.outcomes}
 
 
 def run_once(benchmark, fn):

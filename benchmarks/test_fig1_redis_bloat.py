@@ -7,19 +7,17 @@ dataset fully resident.
 
 Reproduced here (scaled): Linux OOMs first with the most bloat, Ingens
 OOMs later with less, HawkEye finishes with RSS ≈ useful data.
+
+The cells come through the sweep runner (``repro.runner.adapters.run_fig1``
+holds the experiment body); cached results re-check instantly.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import banner, run_once
-from repro.errors import OutOfMemoryError
-from repro.experiments import make_kernel, useful_bytes
-from repro.metrics.series import SeriesRecorder
+from benchmarks.conftest import banner, run_once, sweep_results
 from repro.metrics.tables import format_table
-from repro.units import GB, MB, SEC
-from repro.workloads.redis import RedisFig1
-
-POLICIES = ["linux-2mb", "ingens-90", "hawkeye-g"]
+from repro.runner.adapters import FIG1_POLICIES as POLICIES
+from repro.runner.adapters import run_fig1
 
 PAPER = {  # per policy: (OOM?, useful GB at limit / end on 48 GB)
     "linux-2mb": (True, 20.0),
@@ -29,30 +27,13 @@ PAPER = {  # per policy: (OOM?, useful GB at limit / end on 48 GB)
 
 
 def run_policy(policy, scale):
-    kernel = make_kernel(48 * GB, policy, scale)
-    recorder = SeriesRecorder(kernel, every_epochs=10)
-    recorder.probe("rss_mb", lambda k: sum(p.rss_pages() for p in k.processes) * 4096 / MB)
-    run = kernel.spawn(RedisFig1(scale=scale.factor))
-    oom = False
-    try:
-        kernel.run(max_epochs=4000)
-    except OutOfMemoryError:
-        oom = True
-    proc = run.proc
-    return {
-        "policy": policy,
-        "oom": oom,
-        "finished": run.finished,
-        "t_end_s": kernel.now_us / SEC,
-        "rss_mb": proc.rss_pages() * 4096 / MB,
-        "useful_mb": useful_bytes(kernel, proc) / MB,
-        "recovered_pages": kernel.stats.bloat_pages_recovered,
-        "rss_series": recorder["rss_mb"],
-    }
+    """One Figure-1 cell in-process (kept for `repro bench fig1 --profile`)."""
+    return run_fig1("redis-fig1", policy, scale)
 
 
 def test_fig1_redis_bloat(benchmark, scale):
-    results = run_once(benchmark, lambda: [run_policy(p, scale) for p in POLICIES])
+    table = run_once(benchmark, lambda: sweep_results("fig1", scale))
+    results = [table[("redis-fig1", p)] for p in POLICIES]
     banner("Figure 1: Redis RSS under insert/delete-80%/re-insert (scaled 1/128)")
     rows = []
     for r in results:
@@ -72,8 +53,9 @@ def test_fig1_redis_bloat(benchmark, scale):
     print("\nRSS over time (MB):")
     for r in results:
         series = r["rss_series"]
+        pairs = list(zip(series["times"], series["values"]))
         samples = [f"{t:.0f}s:{v:.0f}" for t, v in
-                   list(zip(series.times, series.values))[:: max(1, len(series) // 10)]]
+                   pairs[:: max(1, len(pairs) // 10)]]
         print(f"  {r['policy']:10s} " + "  ".join(samples))
 
     by_policy = {r["policy"]: r for r in results}

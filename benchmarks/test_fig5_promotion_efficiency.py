@@ -7,51 +7,25 @@ over never-promoting, 13 %/12 %/6 % over Linux and Ingens for Graph500,
 XSBench and cg.D — and saves far more execution time per promotion
 (HawkEye-PMU up to 44x more efficient than Linux on XSBench, because it
 stops promoting once measured overhead drops below 2 %).
+
+The 15 cells come through the sweep runner
+(``repro.runner.adapters.run_fig5`` holds the experiment body), so
+``repro sweep run fig5 --jobs 4`` pre-warms this test's cache.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import banner, run_once
-from repro.experiments import fragment, make_kernel
+from benchmarks.conftest import banner, run_once, sweep_results
 from repro.metrics.tables import format_table
-from repro.units import GB, SEC
-from repro.workloads.graph import Graph500
-from repro.workloads.npb import NPBWorkload
-from repro.workloads.xsbench import XSBench
-
-POLICIES = ["linux-4kb", "linux-2mb", "ingens-90", "hawkeye-pmu", "hawkeye-g"]
-
-WORK_S = 500.0
-
-
-def workloads(scale):
-    return {
-        "graph500": lambda: Graph500(scale=scale.factor, work_us=WORK_S * SEC),
-        "xsbench": lambda: XSBench(scale=scale.factor, work_us=WORK_S * SEC),
-        "cg.D": lambda: NPBWorkload("cg.D", scale=scale.factor, work_us=WORK_S * SEC),
-    }
-
-
-def run_case(wl_factory, policy, scale):
-    kernel = make_kernel(96 * GB, policy, scale)
-    fragment(kernel)
-    run = kernel.spawn(wl_factory())
-    kernel.run(max_epochs=6000)
-    assert run.finished
-    return {
-        "time_s": run.elapsed_us / SEC,
-        "promotions": run.proc.stats.promotions,
-    }
+from repro.runner.adapters import FIG5_POLICIES as POLICIES
+from repro.runner.adapters import FIG5_WORKLOADS as WORKLOADS
 
 
 def test_fig5_promotion_efficiency(benchmark, scale):
-    def experiment():
-        table = {}
-        for wname, factory in workloads(scale).items():
-            table[wname] = {p: run_case(factory, p, scale) for p in POLICIES}
-        return table
-
-    table = run_once(benchmark, experiment)
+    cells = run_once(benchmark, lambda: sweep_results("fig5", scale))
+    table = {
+        wname: {p: cells[(wname, p)] for p in POLICIES} for wname in WORKLOADS
+    }
     banner("Figure 5: speedup over 4KB and time saved per promotion (fragmented start)")
     rows = []
     for wname, per_policy in table.items():

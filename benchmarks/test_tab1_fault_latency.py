@@ -13,18 +13,19 @@ avg fault time (µs)   3.5       465      3.5        2.65        13
 The "no page-zeroing" columns are realised by HawkEye with warmed
 pre-zero lists — the mechanism §3.1 builds to make that hypothetical the
 common case.
+
+The cells come through the sweep runner (``repro.runner.adapters.run_tab1``
+holds the experiment body); cached results re-check instantly.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import banner, run_once
-from repro.experiments import make_kernel
+from benchmarks.conftest import banner, run_once, sweep_results
 from repro.metrics.tables import format_table
-from repro.units import GB, SEC
-from repro.workloads.microbench import AllocTouchFree
+from repro.runner.adapters import run_tab1
 
 CONFIGS = [
-    # (label, policy, paper avg fault µs, paper fault ratio vs 4K)
+    # (label, policy, paper avg fault µs)
     ("linux-4kb", "linux-4kb", 3.5),
     ("linux-2mb", "linux-2mb", 465.0),
     ("ingens-90", "ingens-90", 3.5),
@@ -32,36 +33,18 @@ CONFIGS = [
     ("hawkeye-2mb (no-zero)", "hawkeye-g", 13.0),
 ]
 
-ROUNDS = 10
-
-#: think time between rounds: at full scale each round takes tens of
-#: seconds, during which background threads run.  The gap is identical
-#: across configurations and subtracted from the reported total.
-GAP_US = 3 * SEC
-
 
 def run_config(label, policy, scale):
-    kernel = make_kernel(16 * GB, policy, scale, boot_zeroed=True)
-    if policy.startswith("hawkeye"):
-        # idealised no-zeroing columns: pre-zeroing keeps up with frees
-        kernel.policy.prezero._limiter.per_second = 1e9
-    run = kernel.spawn(
-        AllocTouchFree(10 * GB, rounds=ROUNDS, scale=scale.factor, gap_us=GAP_US)
-    )
-    kernel.run(max_epochs=3000)
-    stats = run.proc.stats
-    return {
-        "label": label,
-        "faults": stats.faults,
-        "fault_time_s": stats.fault_time_us / SEC,
-        "avg_fault_us": stats.fault_time_us / max(stats.faults, 1),
-    }
+    """One Table-1 cell in-process (kept for `repro bench tab1 --profile`)."""
+    return {"label": label, **run_tab1("alloc-touch-free", policy, scale)}
 
 
 def test_tab1_fault_latency(benchmark, scale):
-    results = run_once(
-        benchmark, lambda: [run_config(l, p, scale) for l, p, _ in CONFIGS]
-    )
+    table = run_once(benchmark, lambda: sweep_results("tab1", scale))
+    results = [
+        {"label": label, **table[("alloc-touch-free", policy)]}
+        for label, policy, _ in CONFIGS
+    ]
     banner("Table 1: fault counts and latency, alloc-touch-free x10 (scaled)")
     rows = [
         [r["label"], r["faults"], round(r["fault_time_s"], 3),

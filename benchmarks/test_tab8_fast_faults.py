@@ -16,20 +16,17 @@ zeroing eats most of that win; pre-zeroing (HawkEye-2MB) recovers it —
 most dramatically for VM spin-up (13.8x over Linux-2MB).  Ingens's
 utilisation-threshold promotion costs extra faults on these
 high-spatial-locality workloads, making it the slowest column.
+
+The 25 cells come through the sweep runner
+(``repro.runner.adapters.run_tab8`` holds the experiment body), so
+``repro sweep run tab8 --jobs 4`` pre-warms this test's cache.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import banner, run_once
-from repro.experiments import make_kernel
+from benchmarks.conftest import banner, run_once, sweep_results
 from repro.metrics.tables import format_table
-from repro.units import GB, SEC
-from repro.workloads.haccio import HaccIO
-from repro.workloads.redis import RedisBulkInsert
-from repro.workloads.sparsehash import SparseHash
-from repro.workloads.spinup import JVMSpinUp, KVMSpinUp
-
-POLICIES = ["linux-4kb", "linux-2mb", "ingens-90", "hawkeye-4kb", "hawkeye-g"]
+from repro.runner.adapters import TAB8_POLICIES as POLICIES
 
 PAPER = {
     "redis-bulk": [233, 437, 192, 236, 551],
@@ -40,41 +37,11 @@ PAPER = {
 }
 
 
-def make_workload(name, scale):
-    return {
-        "redis-bulk": lambda: RedisBulkInsert(scale=scale.factor),
-        "sparsehash": lambda: SparseHash(scale=scale.factor),
-        "hacc-io": lambda: HaccIO(scale=scale.factor),
-        "jvm-spinup": lambda: JVMSpinUp(scale=scale.factor),
-        "kvm-spinup": lambda: KVMSpinUp(scale=scale.factor),
-    }[name]()
-
-
-def run_case(wname, policy, scale):
-    kernel = make_kernel(96 * GB, policy, scale, boot_zeroed=False)
-    if policy.startswith("hawkeye"):
-        # let the pre-zero thread convert boot-dirty memory first (at
-        # full scale it runs continuously; the workload starts later)
-        kernel.policy.prezero._limiter.per_second = 1e9
-        kernel.run_epochs(2)
-    wl = make_workload(wname, scale)
-    run = kernel.spawn(wl)
-    kernel.run(max_epochs=2000)
-    assert run.finished
-    time_s = run.op_time_us / SEC
-    if wname == "redis-bulk":
-        # throughput: values inserted per second (values are 2 MB)
-        return wl.values_inserted() / time_s
-    return time_s
-
-
 def test_tab8_fast_faults(benchmark, scale):
-    def experiment():
-        return {
-            w: [run_case(w, p, scale) for p in POLICIES] for w in PAPER
-        }
-
-    table = run_once(benchmark, experiment)
+    cells = run_once(benchmark, lambda: sweep_results("tab8", scale))
+    table = {
+        w: [cells[(w, p)]["value"] for p in POLICIES] for w in PAPER
+    }
     banner("Table 8: async pre-zeroing on fault-bound workloads "
            "(times s, redis in values/s; scaled)")
     rows = []
@@ -84,7 +51,7 @@ def test_tab8_fast_faults(benchmark, scale):
             row.append(f"{v:.3g} ({paper})")
         rows.append(row)
     print(format_table(
-        ["workload (measured (paper))"] + POLICIES, rows
+        ["workload (measured (paper))"] + list(POLICIES), rows
     ))
 
     idx = {p: i for i, p in enumerate(POLICIES)}

@@ -14,48 +14,25 @@ mg.D (24GB)        <1 %      1363   1364          1377
 HawkEye-G cannot tell the pairs apart (same coverage) and splits its
 promotion budget; HawkEye-PMU reads the measured overheads and serves
 only the workload that benefits — up to 36 % better.
+
+The cells come through the sweep runner (``repro.runner.adapters.run_tab9``
+holds the experiment body); cached results re-check instantly.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import banner, run_once
-from repro.experiments import fragment, make_kernel
+from benchmarks.conftest import banner, run_once, sweep_results
 from repro.metrics.tables import format_table
-from repro.units import GB, SEC
-from repro.workloads.microbench import RandomAccess, SequentialAccess
-from repro.workloads.npb import NPBWorkload
-
-SETS = {
-    "random+sequential": lambda scale: [
-        RandomAccess(scale=scale.factor, work_us=233 * SEC),
-        SequentialAccess(scale=scale.factor, work_us=514 * SEC),
-    ],
-    "cg.D+mg.D": lambda scale: [
-        NPBWorkload("cg.D", scale=scale.factor, work_us=500 * SEC),
-        NPBWorkload("mg.D", scale=scale.factor, work_us=560 * SEC),
-    ],
-}
-
-POLICIES = ["linux-4kb", "hawkeye-pmu", "hawkeye-g"]
-
-
-def run_set(make_workloads, policy, scale):
-    kernel = make_kernel(96 * GB, policy, scale)
-    fragment(kernel)
-    runs = [kernel.spawn(wl) for wl in make_workloads(scale)]
-    kernel.run(max_epochs=6000)
-    assert all(r.finished for r in runs)
-    return {r.proc.name: r.elapsed_us / SEC for r in runs}
+from repro.runner.adapters import TAB9_POLICIES as POLICIES
+from repro.runner.adapters import TAB9_SETS as SETS
 
 
 def test_tab9_pmu_vs_g(benchmark, scale):
-    def experiment():
-        return {
-            sname: {p: run_set(factory, p, scale) for p in POLICIES}
-            for sname, factory in SETS.items()
-        }
-
-    table = run_once(benchmark, experiment)
+    cells = run_once(benchmark, lambda: sweep_results("tab9", scale))
+    table = {
+        sname: {p: cells[(sname, p)]["times_s"] for p in POLICIES}
+        for sname in SETS
+    }
     banner("Table 9: HawkEye-PMU vs HawkEye-G on mixed sensitivity sets")
     rows = []
     for sname, per_policy in table.items():

@@ -9,13 +9,17 @@ Examples::
     python -m repro trace run redis-fig1 --policy hawkeye-g --summary
     python -m repro trace view trace.jsonl --kind fault --summary
     python -m repro top xsbench --interval 30
+    python -m repro sweep run tab1 tab8 --jobs 4
+    python -m repro sweep status
 
 ``run`` executes one workload under one policy and prints a summary plus
 /proc-style snapshots; ``compare`` races one workload across policies;
 ``bench`` shells out to the pytest benchmark that regenerates a paper
 table or figure; ``trace`` records or replays the kernel tracepoint
 stream (JSONL, per-subsystem attribution, latency histograms); ``top``
-watches a run through periodic /proc-style snapshots.
+watches a run through periodic /proc-style snapshots; ``sweep`` drives
+experiment grids through the cached, fanned-out sweep runner
+(``repro.runner``) with per-cell crash isolation and resume.
 """
 
 from __future__ import annotations
@@ -182,6 +186,53 @@ def build_parser() -> argparse.ArgumentParser:
     common(top_p)
     top_p.add_argument("--interval", type=float, default=30.0,
                        help="simulated seconds between snapshots (default 30)")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run experiment grids through the cached sweep runner")
+    sweep_sub = sweep_p.add_subparsers(dest="sweep_command", required=True)
+
+    def sweep_common(p):
+        p.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default .sweep-cache, "
+                            "or $REPRO_SWEEP_CACHE)")
+
+    sweep_run_p = sweep_sub.add_parser(
+        "run", help="execute a selection of experiment cells")
+    sweep_run_p.add_argument(
+        "selectors", nargs="*", default=["all"],
+        help="cell selectors: all | EXP | EXP/CASE | EXP:POLICY | "
+             "EXP/CASE:POLICY (default: all)")
+    sweep_common(sweep_run_p)
+    sweep_run_p.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (default 1 = in-process)")
+    sweep_run_p.add_argument("--timeout", type=float, default=None,
+                             help="per-cell wall-clock budget in seconds "
+                                  "(default 900)")
+    sweep_run_p.add_argument("--retries", type=int, default=None,
+                             help="extra attempts per failed cell (default 1)")
+    sweep_run_p.add_argument("--scale", type=int, default=128,
+                             help="linear memory scale divisor (default 128)")
+    sweep_run_p.add_argument("--force", action="store_true",
+                             help="re-execute cells even when cached")
+    sweep_run_p.add_argument("--resume", action="store_true",
+                             help="re-run the last sweep's manifest, skipping "
+                                  "completed cells (selectors are ignored)")
+    sweep_run_p.add_argument("--json", action="store_true",
+                             help="emit per-cell records as JSON Lines instead "
+                                  "of the table")
+    sweep_run_p.add_argument("--csv", metavar="PATH", default=None,
+                             help="also write per-cell records as CSV to PATH")
+    sweep_run_p.add_argument("--require-cached", action="store_true",
+                             help="exit 1 if any cell actually executed "
+                                  "(CI warm-cache check)")
+
+    sweep_status_p = sweep_sub.add_parser(
+        "status", help="show the last sweep's manifest and cache contents")
+    sweep_common(sweep_status_p)
+
+    sweep_clean_p = sweep_sub.add_parser(
+        "clean", help="delete cached results and the sweep manifest")
+    sweep_common(sweep_clean_p)
 
     return parser
 
@@ -517,6 +568,139 @@ def cmd_top(args) -> int:
     return 0 if result["outcome"] == "completed" else 1
 
 
+def _sweep_paths(args):
+    """Resolve (cache, manifest path) from --cache-dir/$REPRO_SWEEP_CACHE."""
+    from pathlib import Path
+
+    from repro.runner import ResultCache, default_cache_dir
+
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    return ResultCache(root), root / "manifest.json"
+
+
+def _cmd_sweep_run(args) -> int:
+    """`repro sweep run`: drive selected cells through the cached runner."""
+    from repro import runner
+    from repro.metrics.export import cells_to_csv, cells_to_jsonl
+    from repro.runner import Manifest, UnknownCellError, run_sweep
+
+    cache, manifest_path = _sweep_paths(args)
+    if args.resume:
+        manifest = Manifest.load(manifest_path)
+        if manifest is None:
+            print(f"nothing to resume: no manifest at {manifest_path}",
+                  file=sys.stderr)
+            return 2
+        cells = manifest.cells()
+        print(f"resuming {len(cells)} cells from {manifest_path} "
+              f"({len(manifest.pending_cells())} incomplete)",
+              file=sys.stderr)
+    else:
+        try:
+            cells = runner.parse_selectors(args.selectors, args.scale)
+        except UnknownCellError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        manifest = Manifest(manifest_path)
+    if not cells:
+        print("no cells selected", file=sys.stderr)
+        return 2
+
+    def progress(outcome):
+        line = f"  [{outcome.status:>7s}] {outcome.cell.cell_id}"
+        if outcome.status != "cached":
+            line += f"  ({outcome.wall_s:.1f}s, attempt {outcome.attempts})"
+        print(line, file=sys.stderr)
+
+    report = run_sweep(
+        cells,
+        jobs=args.jobs,
+        timeout_s=args.timeout if args.timeout is not None
+        else runner.DEFAULT_TIMEOUT_S,
+        retries=args.retries if args.retries is not None
+        else runner.DEFAULT_RETRIES,
+        cache=cache,
+        manifest=manifest,
+        force=args.force,
+        progress=progress,
+    )
+
+    records = [o.as_record() for o in report.outcomes]
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(cells_to_csv(records))
+        print(f"per-cell CSV written to {args.csv}", file=sys.stderr)
+    if args.json:
+        print(cells_to_jsonl(records), end="")
+    else:
+        rows = [
+            [o.cell.cell_id, o.status, o.attempts, round(o.wall_s, 2),
+             (o.error or "").splitlines()[-1][:48] if o.error else ""]
+            for o in report.outcomes
+        ]
+        print(format_table(
+            ["cell", "status", "attempts", "wall s", "error"], rows,
+            title=f"sweep: {len(cells)} cells, jobs={args.jobs}",
+        ))
+    counts = report.counts()
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"{summary}; executed {report.executed}, "
+          f"{report.wall_s:.1f}s wall; cache {cache.root}", file=sys.stderr)
+    if args.require_cached and report.executed:
+        print(f"--require-cached: {report.executed} cells executed "
+              f"(expected 100% cache hits)", file=sys.stderr)
+        return 1
+    return 0 if report.ok else 1
+
+
+def _cmd_sweep_status(args) -> int:
+    """`repro sweep status`: summarise the manifest and cache contents."""
+    from repro.runner import Manifest
+
+    cache, manifest_path = _sweep_paths(args)
+    manifest = Manifest.load(manifest_path)
+    if manifest is None:
+        print(f"no sweep manifest at {manifest_path}")
+    else:
+        entries = manifest.data["cells"]
+        rows = [
+            [cell_id, e.get("status", "pending"), e.get("attempts", 0),
+             e.get("wall_s", 0.0)]
+            for cell_id, e in sorted(entries.items())
+        ]
+        print(format_table(
+            ["cell", "status", "attempts", "wall s"], rows,
+            title=f"manifest {manifest_path}",
+        ))
+        summary = ", ".join(
+            f"{v} {k}" for k, v in sorted(manifest.summary().items()))
+        print(summary)
+    print(f"{len(cache)} cached results in {cache.results_dir}")
+    return 0
+
+
+def _cmd_sweep_clean(args) -> int:
+    """`repro sweep clean`: drop cached results and the manifest."""
+    cache, manifest_path = _sweep_paths(args)
+    removed = cache.clear()
+    had_manifest = manifest_path.exists()
+    if had_manifest:
+        manifest_path.unlink()
+    print(f"removed {removed} cached results"
+          + (" and the manifest" if had_manifest else "")
+          + f" from {cache.root}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """`repro sweep`: dispatch to the run/status/clean sub-commands."""
+    if args.sweep_command == "run":
+        return _cmd_sweep_run(args)
+    if args.sweep_command == "status":
+        return _cmd_sweep_status(args)
+    return _cmd_sweep_clean(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -532,6 +716,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(args)
     if args.command == "top":
         return cmd_top(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

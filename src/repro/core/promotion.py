@@ -84,13 +84,15 @@ class PromotionEngine:
             if picked is None:
                 break
             proc, hvpn = picked
-            self._limiter.take()
             amap = self.access_maps[proc.pid]
             if self.kernel.promote_region(proc, hvpn) is None:
                 # Region unpromotable (gone, or no contiguity): drop it
-                # from the candidate set and keep going.
+                # from the candidate set and keep going.  No token is
+                # charged — a stale access_map entry must not burn the
+                # epoch's budget and starve real candidates.
                 amap.remove(hvpn)
                 continue
+            self._limiter.take()
             amap.remove(hvpn)
             done += 1
         if done and trace.enabled and (tp := self.kernel.trace) is not None and tp.enabled:
@@ -158,6 +160,10 @@ class PromotionEngine:
         for proc in self.kernel.processes:
             hvpn = self._head_for(proc)
             if hvpn is not None:
+                # Cleanup picks still serve a process: record it so the
+                # next round-robin resumes after it instead of resetting
+                # fairness to the head of the process list.
+                self._rr_last_pid = proc.pid
                 return proc, hvpn
         return None
 
@@ -183,5 +189,6 @@ class PromotionEngine:
                 continue
             hvpn = self._head_for(proc)
             if hvpn is not None:
+                self._rr_last_pid = proc.pid
                 return proc, hvpn
         return None

@@ -52,8 +52,33 @@ class Scale:
         """Scale a full-scale pages/second rate down to match the memory."""
         return full_per_sec * self.factor
 
+    @property
+    def denominator(self) -> int:
+        """The 1/N divisor this scale was built from (rounded)."""
+        return max(1, round(1.0 / self.factor))
+
+    @classmethod
+    def from_denominator(cls, denominator: int) -> "Scale":
+        """Build a scale from its 1/N divisor (the CLI/sweep spelling)."""
+        return cls(1.0 / denominator)
+
 
 DEFAULT = Scale()
+
+
+def reset_sim_state() -> None:
+    """Reset process-global simulator counters.
+
+    The simulator is deterministic per kernel except for the global pid
+    counter, which threads process creation order across kernels in the
+    same interpreter.  Anything that needs run-to-run reproducible output
+    regardless of what ran before it — the perf harness, sweep cells —
+    calls this first, so the same experiment produces identical results
+    in a fresh worker process and mid-way through a long pytest session.
+    """
+    from repro.vm.process import Process
+
+    Process._next_pid = 1
 
 
 def _hawkeye(variant: str, huge_faults: bool = True) -> Callable[[Scale], Callable]:

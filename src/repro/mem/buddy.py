@@ -214,16 +214,24 @@ class BuddyAllocator:
     # freeing                                                            #
     # ------------------------------------------------------------------ #
 
-    def free(self, start: int, order: int = 0) -> None:
-        """Return an allocated block and coalesce with free buddies."""
+    def free(self, start: int, order: int = 0) -> int:
+        """Return an allocated block and coalesce with free buddies.
+
+        Returns the order of the free block the pages ended up in after
+        coalescing (callers tracking high-order availability — e.g. the
+        fragmenter's FMFI bookkeeping — react only when this crosses the
+        huge-page order).
+        """
         count = 1 << order
         if not self.frames.allocated[start:start + count].all():
             raise AllocationError(f"double free of block {start} order {order}")
         self.frames.mark_free(start, count)
-        self.insert_free_block(start, order)
+        return self.insert_free_block(start, order)
 
-    def insert_free_block(self, start: int, order: int) -> None:
-        """Insert an (already frame-table-free) block, coalescing buddies."""
+    def insert_free_block(self, start: int, order: int) -> int:
+        """Insert an (already frame-table-free) block, coalescing buddies.
+
+        Returns the final coalesced order."""
         while order < self.max_order:
             buddy = start ^ (1 << order)
             if self._block_order.get(buddy) != order:
@@ -232,6 +240,7 @@ class BuddyAllocator:
             start = min(start, buddy)
             order += 1
         self._insert(start, order)
+        return order
 
     def carve_range(self, lo: int, hi: int) -> list[tuple[int, int]]:
         """Temporarily remove every free block lying fully inside [lo, hi).

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 
 from repro.mem.buddy import BuddyAllocator
+from repro.units import HUGE_PAGE_ORDER
 
 #: Owner id used for fragmenter (file-cache) frames.
 FILE_CACHE_OWNER = -2
@@ -74,9 +75,21 @@ class Fragmenter:
         keep = int(len(taken) * keep_fraction)
         kept, to_free = taken[:keep], taken[keep:]
         self._cache_pages.update(kept)
+        # The early-stop check used to recompute the index after every
+        # freed frame.  Between frees that do not coalesce up to the huge
+        # order, `usable` is constant while `free` grows, so the index is
+        # non-decreasing — it can only drop below the target at a free
+        # whose block reaches order >= HUGE_PAGE_ORDER.  Checking only at
+        # those events (plus the first free, for degenerate targets that
+        # are already met) stops at exactly the same frame as the
+        # every-free scan.
         for i, frame in enumerate(to_free):
-            self.buddy.free(frame, 0)
-            if target_fmfi is not None and fmfi(self.buddy) <= target_fmfi:
+            end_order = self.buddy.free(frame, 0)
+            if (
+                target_fmfi is not None
+                and (i == 0 or end_order >= HUGE_PAGE_ORDER)
+                and fmfi(self.buddy) <= target_fmfi
+            ):
                 self._cache_pages.update(to_free[i + 1:])
                 return fmfi(self.buddy)
         return fmfi(self.buddy)

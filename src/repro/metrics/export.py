@@ -112,6 +112,37 @@ def trace_from_jsonl(text: str) -> list[TraceEvent]:
     return events
 
 
+#: flat columns of a sweep-cell CSV row, in print order.
+SWEEP_CSV_COLUMNS = [
+    "cell_id", "experiment", "case", "policy", "scale_denominator",
+    "status", "attempts", "wall_s", "key", "error", "result_json",
+]
+
+
+def cells_to_jsonl(records: Iterable[dict]) -> str:
+    """Sweep cell records (``CellOutcome.as_record()``) as JSON Lines."""
+    lines = [json.dumps(record, sort_keys=True) for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def cells_to_csv(records: Iterable[dict]) -> str:
+    """Sweep cell records as CSV; nested results become a JSON column."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(SWEEP_CSV_COLUMNS)
+    for record in records:
+        row = []
+        for column in SWEEP_CSV_COLUMNS:
+            if column == "result_json":
+                result = record.get("result")
+                row.append("" if result is None else json.dumps(result, sort_keys=True))
+            else:
+                value = record.get(column)
+                row.append("" if value is None else value)
+        writer.writerow(row)
+    return out.getvalue()
+
+
 def snapshot_to_json(kernel) -> str:
     """meminfo + vmstat as one JSON document."""
     from repro.kernel import procfs

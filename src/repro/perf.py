@@ -25,9 +25,8 @@ import statistics
 import time
 
 from repro import trace
-from repro.experiments import POLICIES, Scale, make_kernel
+from repro.experiments import POLICIES, Scale, make_kernel, reset_sim_state
 from repro.units import GB, MB
-from repro.vm.process import Process
 from repro.workloads.base import ContentSpec, FreeOp, Phase, TouchOp, Workload
 
 #: pages in the microbenchmark's touch region (256 MiB effective).
@@ -70,7 +69,7 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
     guard is evaluated and rejected — the state the <5 % overhead gate
     measures) or ``"on"`` (full emission).
     """
-    Process._next_pid = 1
+    reset_sim_state()
     # make_kernel takes the *full-scale* size; 2x headroom over the region
     # keeps the pressure paths (reclaim/swap) out of the measurement.
     scale = Scale(1 / 128)

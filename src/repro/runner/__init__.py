@@ -1,0 +1,67 @@
+"""Sweep runner: declarative experiment grids, fan-out, result cache.
+
+``repro.runner`` turns the paper's evaluation into an addressable grid
+of cells (experiment x case x policy x scale).  The registry enumerates
+cells, the scheduler drives them across worker processes with per-cell
+timeout/retry/crash isolation, and the cache content-addresses each
+result by (cell config, source digest) so unchanged cells never rerun.
+Surfaced on the CLI as ``repro sweep run/status/clean``.
+"""
+
+from repro.runner.cache import (
+    CACHE_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cell_key,
+    clear_digest_memo,
+    default_cache_dir,
+    source_digest,
+)
+from repro.runner.manifest import Manifest
+from repro.runner.registry import (
+    Cell,
+    Experiment,
+    UnknownCellError,
+    cells_for,
+    execute_cell,
+    experiment_names,
+    get_experiment,
+    parse_selectors,
+    register,
+    unregister,
+)
+from repro.runner.scheduler import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT_S,
+    GOOD_STATUSES,
+    CellOutcome,
+    SweepReport,
+    run_sweep,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_RETRIES",
+    "DEFAULT_TIMEOUT_S",
+    "GOOD_STATUSES",
+    "Cell",
+    "CellOutcome",
+    "Experiment",
+    "Manifest",
+    "ResultCache",
+    "SweepReport",
+    "UnknownCellError",
+    "cell_key",
+    "cells_for",
+    "clear_digest_memo",
+    "default_cache_dir",
+    "execute_cell",
+    "experiment_names",
+    "get_experiment",
+    "parse_selectors",
+    "register",
+    "run_sweep",
+    "source_digest",
+    "unregister",
+]

@@ -1,0 +1,126 @@
+"""Sweep manifest: the on-disk record of one sweep's cells and statuses.
+
+The manifest makes a sweep resumable as a *spec*, not just as cached
+bytes: ``repro sweep run --resume`` reloads the cell list of the last
+sweep from ``<cache>/manifest.json`` and re-executes only the cells
+that are not already complete (completed cells short-circuit through
+the result cache anyway; the manifest is what remembers *which* cells
+the sweep was made of and how each attempt went).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.runner.registry import Cell
+
+MANIFEST_VERSION = 1
+
+#: statuses that need no re-execution on resume.
+DONE_STATUSES = ("ok", "cached")
+
+
+class Manifest:
+    """Mutable sweep record, persisted atomically after every change."""
+
+    def __init__(self, path: str | Path, data: dict | None = None):
+        self.path = Path(path)
+        self.data = data or {
+            "version": MANIFEST_VERSION,
+            "source": None,
+            "started_at": None,
+            "jobs": None,
+            "cells": {},
+        }
+
+    # ------------------------------------------------------------------ #
+    # persistence                                                         #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Manifest | None":
+        """Read a manifest back, or None when absent/corrupt."""
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("version") != MANIFEST_VERSION:
+            return None
+        return cls(path, data)
+
+    def save(self) -> None:
+        """Write the manifest atomically next to the result cache."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            # no sort_keys: the cells dict keeps sweep order across loads
+            json.dump(self.data, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------ #
+    # sweep lifecycle                                                     #
+    # ------------------------------------------------------------------ #
+
+    def begin(self, cells: list[Cell], keys: dict[Cell, str], source: str,
+              jobs: int) -> None:
+        """Record a sweep's spec; entries start ``pending``.
+
+        Cells already present keep their record (a resumed sweep only
+        re-registers what it is about to run).
+        """
+        self.data["source"] = source
+        self.data["started_at"] = time.time()
+        self.data["jobs"] = jobs
+        for cell in cells:
+            entry = self.data["cells"].get(cell.cell_id)
+            if entry is None or entry.get("key") != keys[cell]:
+                self.data["cells"][cell.cell_id] = {
+                    "config": cell.config(),
+                    "key": keys[cell],
+                    "status": "pending",
+                    "attempts": 0,
+                    "wall_s": 0.0,
+                    "error": None,
+                }
+
+    def mark(self, cell: Cell, status: str, wall_s: float = 0.0,
+             attempts: int = 0, error: str | None = None) -> None:
+        """Record a cell's terminal status for this sweep."""
+        entry = self.data["cells"].setdefault(cell.cell_id, {
+            "config": cell.config(), "key": None,
+        })
+        entry.update({
+            "status": status,
+            "wall_s": round(wall_s, 3),
+            "attempts": attempts,
+            "error": error,
+        })
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def cells(self) -> list[Cell]:
+        """Every cell in the manifest's spec, in recorded order."""
+        return [Cell.from_config(e["config"]) for e in self.data["cells"].values()]
+
+    def pending_cells(self) -> list[Cell]:
+        """Cells that still need execution (not ok/cached)."""
+        return [
+            Cell.from_config(e["config"])
+            for e in self.data["cells"].values()
+            if e.get("status") not in DONE_STATUSES
+        ]
+
+    def summary(self) -> dict[str, int]:
+        """Histogram of per-cell statuses recorded so far."""
+        counts: dict[str, int] = {}
+        for entry in self.data["cells"].values():
+            status = entry.get("status", "pending")
+            counts[status] = counts.get(status, 0) + 1
+        return counts

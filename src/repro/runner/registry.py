@@ -1,0 +1,207 @@
+"""Declarative registry of sweep cells.
+
+The paper's evaluation is a grid — {figure/table} x {policy column} x
+{workload} — and each grid point is a **cell**: one independent kernel
+run producing one JSON-able result.  Experiments register their grids
+here (name, cases, policy columns, a ``run(case, policy, scale)``
+callable); the scheduler enumerates cells, fans them out across worker
+processes, and the cache content-addresses each cell's result.
+
+A :class:`Cell` is pure data (experiment id, case, policy, scale
+divisor), so it pickles across process boundaries and hashes stably;
+the callable is resolved from this registry inside the worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments import POLICIES, Scale, reset_sim_state
+
+
+class UnknownCellError(ReproError, KeyError):
+    """A selector or cell referenced an unregistered experiment/case/policy."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One sweep grid point: experiment x case x policy at a scale."""
+
+    experiment: str
+    case: str
+    policy: str
+    scale_denominator: int = 128
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable stable identifier (also the manifest key)."""
+        return (f"{self.experiment}/{self.case}:{self.policy}"
+                f"@{self.scale_denominator}")
+
+    @property
+    def scale(self) -> Scale:
+        return Scale.from_denominator(self.scale_denominator)
+
+    def config(self) -> dict:
+        """The cell's identity as a plain dict (hashed into the cache key)."""
+        return {
+            "experiment": self.experiment,
+            "case": self.case,
+            "policy": self.policy,
+            "scale_denominator": self.scale_denominator,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Cell":
+        return cls(
+            experiment=config["experiment"],
+            case=config["case"],
+            policy=config["policy"],
+            scale_denominator=config["scale_denominator"],
+        )
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment grid.
+
+    ``run(case, policy, scale)`` must be deterministic and return a
+    JSON-able dict; ``version`` is baked into cache keys, so bumping it
+    invalidates every cached cell of the experiment (use when the
+    result *semantics* change without a source-digest change, e.g. in
+    an interactive session).
+    """
+
+    name: str
+    title: str
+    cases: tuple[str, ...]
+    policies: tuple[str, ...]
+    run: Callable[[str, str, Scale], dict]
+    version: int = 1
+
+
+#: name -> Experiment.  Populated by repro.runner.adapters at import.
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def register(
+    name: str,
+    title: str,
+    cases: tuple[str, ...],
+    policies: tuple[str, ...],
+    run: Callable[[str, str, Scale], dict],
+    version: int = 1,
+    replace: bool = False,
+) -> Experiment:
+    """Register an experiment grid; returns the Experiment record."""
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        raise UnknownCellError(f"unknown policies {unknown} for experiment {name!r}")
+    if name in EXPERIMENTS and not replace:
+        raise ValueError(f"experiment {name!r} already registered")
+    exp = Experiment(name, title, tuple(cases), tuple(policies), run, version)
+    EXPERIMENTS[name] = exp
+    return exp
+
+
+def unregister(name: str) -> None:
+    """Drop a registered experiment (test helper)."""
+    EXPERIMENTS.pop(name, None)
+
+
+def _ensure_adapters() -> None:
+    """Load the stock experiment adapters exactly once."""
+    import repro.runner.adapters  # noqa: F401  (registers on import)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment; raises UnknownCellError."""
+    _ensure_adapters()
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise UnknownCellError(
+            f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def experiment_names() -> list[str]:
+    """Registered experiment names, sorted."""
+    _ensure_adapters()
+    return sorted(EXPERIMENTS)
+
+
+def cells_for(
+    experiment: str,
+    scale_denominator: int = 128,
+    cases: tuple[str, ...] | None = None,
+    policies: tuple[str, ...] | None = None,
+) -> list[Cell]:
+    """Enumerate an experiment's cells (optionally a sub-grid)."""
+    exp = get_experiment(experiment)
+    for case in cases or ():
+        if case not in exp.cases:
+            raise UnknownCellError(
+                f"unknown case {case!r} for {experiment}; have {list(exp.cases)}")
+    for policy in policies or ():
+        if policy not in exp.policies:
+            raise UnknownCellError(
+                f"unknown policy {policy!r} for {experiment}; have {list(exp.policies)}")
+    return [
+        Cell(exp.name, case, policy, scale_denominator)
+        for case in (cases or exp.cases)
+        for policy in (policies or exp.policies)
+    ]
+
+
+def parse_selectors(selectors: list[str], scale_denominator: int = 128) -> list[Cell]:
+    """Expand CLI selectors into a deduplicated cell list.
+
+    Grammar per selector: ``all`` | ``EXP`` | ``EXP/CASE`` |
+    ``EXP:POLICY`` | ``EXP/CASE:POLICY``.
+    """
+    _ensure_adapters()
+    cells: list[Cell] = []
+    seen: set[Cell] = set()
+    for selector in selectors:
+        if selector == "all":
+            expanded = [
+                c for name in experiment_names()
+                for c in cells_for(name, scale_denominator)
+            ]
+        else:
+            exp_part, _, policy = selector.partition(":")
+            exp_name, _, case = exp_part.partition("/")
+            expanded = cells_for(
+                exp_name,
+                scale_denominator,
+                cases=(case,) if case else None,
+                policies=(policy,) if policy else None,
+            )
+        for cell in expanded:
+            if cell not in seen:
+                seen.add(cell)
+                cells.append(cell)
+    return cells
+
+
+def execute_cell(cell: Cell) -> dict:
+    """Run one cell to completion in the current process.
+
+    Resets process-global simulator state first so the result is
+    identical whether the cell runs in a fresh worker or mid-way
+    through a long session, then JSON-round-trips the payload so the
+    in-memory result is exactly what a cache hit would return.
+    """
+    import json
+
+    exp = get_experiment(cell.experiment)
+    if cell.case not in exp.cases:
+        raise UnknownCellError(f"unknown case {cell.case!r} for {cell.experiment}")
+    if cell.policy not in exp.policies:
+        raise UnknownCellError(f"unknown policy {cell.policy!r} for {cell.experiment}")
+    reset_sim_state()
+    result = exp.run(cell.case, cell.policy, cell.scale)
+    return json.loads(json.dumps(result))

@@ -1,0 +1,305 @@
+"""Sweep scheduler: cached, fanned-out, crash-isolated cell execution.
+
+``run_sweep`` takes a list of cells and drives each one to a terminal
+:class:`CellOutcome`:
+
+* **cached** — the result cache already holds this cell under its
+  content address (config + source digest); nothing runs.
+* **ok** — the cell executed (serially in-process for ``jobs <= 1``,
+  else on a ``ProcessPoolExecutor``) and its envelope was cached.
+* **timeout** — the per-cell wall-clock budget expired (enforced with a
+  real-time interval timer inside the executing process, so a runaway
+  cell cannot stall the sweep).
+* **failed** — the cell raised; the traceback is captured in the
+  outcome instead of propagating (one bad cell never kills the sweep).
+* **crashed** — the worker process died outright (segfault, OOM kill,
+  ``os._exit``).  The broken pool is rebuilt and the remaining cells
+  continue.
+
+Timeouts, failures and crashes are retried up to ``retries`` extra
+attempts before the structured failure is reported.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runner.cache import ResultCache, cell_key, source_digest
+from repro.runner.manifest import Manifest
+from repro.runner.registry import Cell, execute_cell, get_experiment
+
+#: default per-cell wall-clock budget (seconds); generous — a paper
+#: cell at 1/128 scale takes single-digit seconds.
+DEFAULT_TIMEOUT_S = 900.0
+#: default extra attempts after a failed/timed-out/crashed first try.
+DEFAULT_RETRIES = 1
+
+#: outcome statuses that carry a usable result.
+GOOD_STATUSES = ("ok", "cached")
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one cell within a sweep."""
+
+    cell: Cell
+    status: str                 # ok | cached | failed | timeout | crashed
+    result: dict | None = None
+    error: str | None = None
+    wall_s: float = 0.0
+    attempts: int = 0
+    key: str = ""
+
+    @property
+    def good(self) -> bool:
+        return self.status in GOOD_STATUSES
+
+    def as_record(self) -> dict:
+        """JSON-able row (the shape metrics.export serialises)."""
+        record = {
+            "cell_id": self.cell.cell_id,
+            **self.cell.config(),
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_s": round(self.wall_s, 3),
+            "key": self.key,
+        }
+        if self.error:
+            record["error"] = self.error
+        if self.result is not None:
+            record["result"] = self.result
+        return record
+
+
+class _CellTimeout(BaseException):
+    """Raised by the interval timer inside a timed-out cell."""
+
+
+def _pool(max_workers: int) -> ProcessPoolExecutor:
+    """A worker pool whose children inherit this process's state.
+
+    Fork (when the platform has it) is pinned explicitly: workers must
+    inherit the already-imported simulator and any experiments
+    registered at runtime, and the default start method is not fork on
+    every platform/Python version.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = None
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+
+
+def _guarded_execute(cell: Cell, timeout_s: float | None) -> tuple:
+    """Run one cell, trapping failure/timeout into a status tuple.
+
+    Runs in the worker process (or inline for serial sweeps).  Returns
+    ``(status, result, error, wall_s)`` — never raises, so a worker only
+    dies if the cell takes the whole process down with it.
+    """
+    start = time.perf_counter()
+    use_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    old_handler = None
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise _CellTimeout()
+
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        result = execute_cell(cell)
+        return ("ok", result, None, time.perf_counter() - start)
+    except _CellTimeout:
+        return ("timeout", None,
+                f"cell exceeded its {timeout_s:.0f}s budget",
+                time.perf_counter() - start)
+    except Exception:
+        return ("failed", None, traceback.format_exc(limit=8),
+                time.perf_counter() - start)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+def _execute_round(cells: list[Cell], jobs: int,
+                   timeout_s: float | None) -> list[tuple[Cell, tuple]]:
+    """One attempt at every cell; crash-isolated when pooled."""
+    if not cells:
+        return []
+    if jobs <= 1:
+        return [(cell, _guarded_execute(cell, timeout_s)) for cell in cells]
+    out: list[tuple[Cell, tuple]] = []
+    with _pool(min(jobs, len(cells))) as pool:
+        futures = {pool.submit(_guarded_execute, cell, timeout_s): cell
+                   for cell in cells}
+        for future in as_completed(futures):
+            cell = futures[future]
+            try:
+                out.append((cell, future.result()))
+            except BrokenProcessPool:
+                # A worker died; every cell in flight on the broken pool
+                # reports a crash (retried on the next round's new pool).
+                out.append((cell, ("crashed", None,
+                                   "worker process died while running this cell",
+                                   0.0)))
+            except Exception as exc:  # submission/pickling problems
+                out.append((cell, ("failed", None, repr(exc), 0.0)))
+    return out
+
+
+def _execute_isolated(cells: list[Cell],
+                      timeout_s: float | None) -> list[tuple[Cell, tuple]]:
+    """Run each cell in its own single-worker pool.
+
+    Used to retry cells from a broken pool: when a worker dies, every
+    in-flight future reports a crash, so the actual crasher cannot be
+    told apart from innocent bystanders.  One pool per cell confines a
+    repeat crash to the cell that caused it.
+    """
+    out: list[tuple[Cell, tuple]] = []
+    for cell in cells:
+        with _pool(1) as pool:
+            try:
+                out.append((cell,
+                            pool.submit(_guarded_execute, cell, timeout_s).result()))
+            except BrokenProcessPool:
+                out.append((cell, ("crashed", None,
+                                   "worker process died while running this cell",
+                                   0.0)))
+            except Exception as exc:
+                out.append((cell, ("failed", None, repr(exc), 0.0)))
+    return out
+
+
+@dataclass
+class SweepReport:
+    """Everything ``run_sweep`` learned, in cell order."""
+
+    outcomes: list[CellOutcome]
+    source: str = ""
+    wall_s: float = 0.0
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of outcome statuses."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def executed(self) -> int:
+        """Cells that actually ran (everything not served from cache)."""
+        return sum(1 for o in self.outcomes if o.status != "cached")
+
+    @property
+    def ok(self) -> bool:
+        return all(o.good for o in self.outcomes)
+
+    def results(self) -> dict[str, dict]:
+        """cell_id -> result payload for the good outcomes."""
+        return {o.cell.cell_id: o.result for o in self.outcomes if o.good}
+
+
+def run_sweep(
+    cells: list[Cell],
+    *,
+    jobs: int = 1,
+    timeout_s: float | None = DEFAULT_TIMEOUT_S,
+    retries: int = DEFAULT_RETRIES,
+    cache: ResultCache | None = None,
+    manifest: Manifest | None = None,
+    force: bool = False,
+    progress: Callable[[CellOutcome], None] | None = None,
+) -> SweepReport:
+    """Drive every cell to a terminal outcome; never raises per-cell.
+
+    ``force`` bypasses cache lookups (results are still stored).  The
+    manifest, when given, is updated and persisted after every cell so
+    an interrupted sweep can be resumed.
+    """
+    started = time.perf_counter()
+    digest = source_digest()
+    keys = {
+        cell: cell_key(cell, digest, get_experiment(cell.experiment).version)
+        for cell in cells
+    }
+    if manifest is not None:
+        manifest.begin(cells, keys, digest, jobs)
+        manifest.save()
+
+    outcomes: dict[Cell, CellOutcome] = {}
+
+    def settle(outcome: CellOutcome) -> None:
+        outcomes[outcome.cell] = outcome
+        if manifest is not None:
+            manifest.mark(outcome.cell, outcome.status, outcome.wall_s,
+                          outcome.attempts, outcome.error)
+            manifest.save()
+        if progress is not None:
+            progress(outcome)
+
+    pending: list[Cell] = []
+    for cell in cells:
+        envelope = None if (cache is None or force) else cache.get(keys[cell])
+        if envelope is not None:
+            settle(CellOutcome(cell, "cached", envelope["result"],
+                               key=keys[cell]))
+        else:
+            pending.append(cell)
+
+    attempts = {cell: 0 for cell in pending}
+    last_status: dict[Cell, str] = {}
+    while pending:
+        round_cells, pending = pending, []
+        # Cells that crashed last round retry in isolation (own pool),
+        # so a repeat crash cannot take unrelated cells down with it.
+        isolated = [c for c in round_cells if last_status.get(c) == "crashed"]
+        pooled = [c for c in round_cells if last_status.get(c) != "crashed"]
+        round_results = _execute_round(pooled, jobs, timeout_s)
+        round_results += _execute_isolated(isolated, timeout_s)
+        for cell, (status, result, error, wall) in round_results:
+            attempts[cell] += 1
+            last_status[cell] = status
+            if status == "ok":
+                envelope = {
+                    "key": keys[cell],
+                    "cell_id": cell.cell_id,
+                    "cell": cell.config(),
+                    "source": digest,
+                    "result": result,
+                    "timing": {
+                        "wall_s": round(wall, 3),
+                        "finished_at": time.time(),
+                        "attempts": attempts[cell],
+                    },
+                }
+                if cache is not None:
+                    cache.put(keys[cell], envelope)
+                settle(CellOutcome(cell, "ok", result, wall_s=wall,
+                                   attempts=attempts[cell], key=keys[cell]))
+            elif attempts[cell] <= retries:
+                pending.append(cell)
+            else:
+                settle(CellOutcome(cell, status, None, error=error,
+                                   wall_s=wall, attempts=attempts[cell],
+                                   key=keys[cell]))
+
+    return SweepReport(
+        outcomes=[outcomes[cell] for cell in cells],
+        source=digest,
+        wall_s=time.perf_counter() - started,
+    )

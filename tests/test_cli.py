@@ -142,3 +142,74 @@ def test_top_prints_snapshot_rows(capsys):
     lines = capsys.readouterr().out.splitlines()
     assert "t_s" in lines[0] and "pgfault/s" in lines[0]
     assert len(lines) > 2  # header + at least one sample + outcome line
+
+
+def test_sweep_run_status_clean(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    rc = main(["sweep", "run", "smoke:linux-4kb", "--jobs", "1",
+               "--cache-dir", cache_dir])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "smoke/touch:linux-4kb@128" in out
+
+    # warm rerun: everything cached, --require-cached passes, JSONL out
+    rc = main(["sweep", "run", "smoke:linux-4kb", "--cache-dir", cache_dir,
+               "--require-cached", "--json"])
+    assert rc == 0
+    import json as _json
+
+    record = _json.loads(capsys.readouterr().out.splitlines()[0])
+    assert record["status"] == "cached"
+    assert record["result"]["finished"] is True
+
+    rc = main(["sweep", "status", "--cache-dir", cache_dir])
+    assert rc == 0
+    assert "1 cached results" in capsys.readouterr().out
+
+    rc = main(["sweep", "clean", "--cache-dir", cache_dir])
+    assert rc == 0
+    assert "removed 1 cached results" in capsys.readouterr().out
+
+
+def test_sweep_run_require_cached_fails_cold(tmp_path, capsys):
+    rc = main(["sweep", "run", "smoke:linux-4kb", "--require-cached",
+               "--cache-dir", str(tmp_path / "cold")])
+    assert rc == 1
+    assert "--require-cached" in capsys.readouterr().err
+
+
+def test_sweep_run_csv_export(tmp_path, capsys):
+    csv_path = tmp_path / "cells.csv"
+    rc = main(["sweep", "run", "smoke:linux-2mb",
+               "--cache-dir", str(tmp_path / "cache"), "--csv", str(csv_path)])
+    assert rc == 0
+    capsys.readouterr()
+    rows = csv_path.read_text().splitlines()
+    assert rows[0].startswith("cell_id,")
+    assert "smoke/touch:linux-2mb@128" in rows[1]
+
+
+def test_sweep_run_unknown_selector(tmp_path, capsys):
+    rc = main(["sweep", "run", "not-an-experiment",
+               "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_sweep_resume_without_manifest(tmp_path, capsys):
+    rc = main(["sweep", "run", "--resume",
+               "--cache-dir", str(tmp_path / "empty")])
+    assert rc == 2
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_sweep_resume_reruns_manifest(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["sweep", "run", "smoke:hawkeye-g",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    rc = main(["sweep", "run", "--resume", "--cache-dir", cache_dir])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "resuming 1 cells" in captured.err
+    assert "cached" in captured.out

@@ -95,3 +95,29 @@ def test_snapshot_json(kernel_thp):
     doc = json.loads(snapshot_to_json(kernel_thp))
     assert doc["meminfo_kb"]["MemTotal"] > 0
     assert "pgfault" in doc["vmstat"]
+
+
+def test_cells_jsonl_and_csv():
+    from repro.metrics.export import cells_to_csv, cells_to_jsonl
+
+    records = [
+        {"cell_id": "smoke/touch:linux-4kb@128", "experiment": "smoke",
+         "case": "touch", "policy": "linux-4kb", "scale_denominator": 128,
+         "status": "ok", "attempts": 1, "wall_s": 0.5, "key": "abc",
+         "result": {"faults": 8}},
+        {"cell_id": "smoke/touch:linux-2mb@128", "experiment": "smoke",
+         "case": "touch", "policy": "linux-2mb", "scale_denominator": 128,
+         "status": "failed", "attempts": 2, "wall_s": 0.1, "key": "def",
+         "error": "boom"},
+    ]
+    lines = cells_to_jsonl(records).splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["result"] == {"faults": 8}
+    assert json.loads(lines[1])["error"] == "boom"
+    assert cells_to_jsonl([]) == ""
+
+    csv_text = cells_to_csv(records)
+    rows = csv_text.splitlines()
+    assert rows[0].startswith("cell_id,experiment,case,policy")
+    assert '"{""faults"": 8}"' in rows[1]  # nested result as a JSON column
+    assert "boom" in rows[2]

@@ -48,6 +48,75 @@ def test_fragment_with_target_fmfi_stops_early():
     assert frag.cache_pages > 0, "early stop retains extra pages in the cache"
 
 
+def naive_fragment(frag: Fragmenter, keep_fraction: float, target_fmfi: float):
+    """Reference implementation: recompute FMFI after every single free.
+
+    This is the O(frees x fmfi) loop the incremental early-stop check in
+    ``Fragmenter.fragment`` replaced; kept here to pin exact equivalence.
+    """
+    taken = []
+    while True:
+        got = frag.buddy.try_alloc(order=0, prefer_zero=False, owner=-2)
+        if got is None:
+            break
+        taken.append(got[0])
+    frag._rng.shuffle(taken)
+    keep = int(len(taken) * keep_fraction)
+    kept, to_free = taken[:keep], taken[keep:]
+    frag._cache_pages.update(kept)
+    for i, frame in enumerate(to_free):
+        frag.buddy.free(frame, 0)
+        if fmfi(frag.buddy) <= target_fmfi:
+            frag._cache_pages.update(to_free[i + 1:])
+            return fmfi(frag.buddy)
+    return fmfi(frag.buddy)
+
+
+@pytest.mark.parametrize("target", [0.3, 0.6, 0.9, 1.0])
+def test_target_fmfi_matches_every_free_reference(target):
+    """The event-driven early stop lands on the exact same frame (and
+    therefore identical FMFI and cache contents) as the per-free scan."""
+    _, _, frag_fast = make(8192)
+    _, _, frag_ref = make(8192)
+    fast = frag_fast.fragment(keep_fraction=0.0, target_fmfi=target)
+    ref = naive_fragment(frag_ref, keep_fraction=0.0, target_fmfi=target)
+    assert fast == ref
+    assert frag_fast.cache_pages == frag_ref.cache_pages
+    assert frag_fast._cache_pages == frag_ref._cache_pages
+
+
+def test_target_fmfi_checks_only_on_coalesce_events(monkeypatch):
+    """Setup cost: FMFI is recomputed per order-9 coalesce, not per free."""
+    import repro.mem.fragmentation as fragmentation
+
+    _, _, frag = make(8192)
+    calls = {"n": 0}
+    real = fragmentation.fmfi
+
+    def counting(buddy, order=9):
+        calls["n"] += 1
+        return real(buddy, order)
+
+    monkeypatch.setattr(fragmentation, "fmfi", counting)
+    frag.fragment(keep_fraction=0.0, target_fmfi=0.0)  # frees all 8192 frames
+    assert calls["n"] <= 8192 // 256, "FMFI recomputed far too often"
+
+
+def test_buddy_free_returns_coalesced_order():
+    frames = FrameTable(1024)
+    buddy = BuddyAllocator(frames)
+    start, _ = buddy.alloc(order=9)
+    for i in range(512):
+        order = buddy.free(start + 511 - i, 0)
+        if i < 511:
+            # the order-9 block cannot complete until every frame is back
+            assert order < 9
+        else:
+            # the last free completes order 9 and then merges with the
+            # other (always-free) order-9 block of the 1024-frame table
+            assert order >= 9
+
+
 def test_reclaim_frees_cache_pages():
     _, buddy, frag = make()
     frag.fragment(keep_fraction=0.2)

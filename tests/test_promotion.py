@@ -130,6 +130,77 @@ def test_rate_limit_respected():
     assert done <= 6  # 3/s with up to 2 epochs of carryover
 
 
+def test_failed_promotion_does_not_burn_budget(monkeypatch):
+    """A candidate that fails promote_region must not charge the limiter.
+
+    Regression: the limiter used to be charged before promote_region, so
+    a failing pick burned the epoch's budget and starved real candidates.
+    """
+    kernel = make_kernel()
+    proc, vma = resident_proc(kernel, nregions=2, nbytes=8 * MB)
+    hvpn = vma.start >> 9
+    amap = AccessMap()
+    amap.update(hvpn, 480)      # hottest: picked first, made to fail
+    amap.update(hvpn + 1, 250)  # the real candidate
+    engine = engine_for(kernel, {proc.pid: amap}, rate=1.0)
+    real_promote = kernel.promote_region
+
+    def flaky(p, h):
+        return None if h == hvpn else real_promote(p, h)
+
+    monkeypatch.setattr(kernel, "promote_region", flaky)
+    assert engine.run_epoch() == 1, "budget of 1 must survive the failed pick"
+    assert proc.regions[hvpn + 1].is_huge
+    assert hvpn not in amap, "failed candidate dropped from the map"
+
+
+def test_cleanup_pick_preserves_round_robin():
+    """A stale-bucket cleanup pick must count as serving that process.
+
+    Regression: the fallback path in _pick_g bypassed _rr_last_pid, so a
+    cleanup pick reset round-robin fairness to the head of the process
+    list and the same process was served twice in a row.
+    """
+    kernel = make_kernel()
+    a, vma_a = resident_proc(kernel, nregions=3, nbytes=8 * MB, name="a")
+    b, vma_b = resident_proc(kernel, nregions=2, nbytes=8 * MB, name="b")
+    a_h, b_h = vma_a.start >> 9, vma_b.start >> 9
+    kernel.promote_region(a, a_h)  # promoted behind the engine's back
+    amap_a, amap_b = AccessMap(), AccessMap()
+    amap_a.update(a_h, 480)        # top bucket: stale entry only
+    amap_a.update(a_h + 1, 250)
+    amap_a.update(a_h + 2, 250)
+    amap_b.update(b_h, 250)
+    amap_b.update(b_h + 1, 250)
+    engine = engine_for(kernel, {a.pid: amap_a, b.pid: amap_b}, rate=2.0)
+    engine.run_epoch()
+    # pick 1 is a cleanup pick serving A; pick 2 must round-robin to B.
+    assert b.stats.promotions == 1
+    assert a.stats.promotions == 2  # the behind-the-back one + pick 1
+
+
+def test_pmu_fallback_pick_records_round_robin():
+    """_pick_pmu's below-tie fallback must record the served pid too."""
+    kernel = make_kernel()
+    heavy, _ = resident_proc(kernel, nregions=1, nbytes=8 * MB, name="heavy")
+    l1, vma1 = resident_proc(kernel, nregions=2, nbytes=8 * MB, name="l1")
+    l2, vma2 = resident_proc(kernel, nregions=2, nbytes=8 * MB, name="l2")
+    maps = {heavy.pid: AccessMap()}  # nothing promotable for heavy
+    for proc, vma in ((l1, vma1), (l2, vma2)):
+        amap = AccessMap()
+        for r in range(2):
+            amap.update((vma.start >> 9) + r, 480)
+        maps[proc.pid] = amap
+    measured = {"heavy": 0.40, "l1": 0.10, "l2": 0.10}
+    engine = engine_for(kernel, maps, variant="pmu", measured=measured, rate=1.0)
+    engine.run_epoch()  # heavy tied alone, empty -> fallback serves l1
+    assert l1.stats.promotions == 1
+    measured["heavy"] = 0.0  # drops below the stop threshold
+    engine.run_epoch()  # tie {l1, l2}: round-robin must resume after l1
+    assert l2.stats.promotions == 1, "fallback pick reset round-robin"
+    assert l1.stats.promotions == 1
+
+
 def test_skip_bloat_demoted_during_pressure():
     kernel = make_kernel()
     proc, vma = resident_proc(kernel, nregions=2, nbytes=8 * MB)

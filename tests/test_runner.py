@@ -1,0 +1,287 @@
+"""Tests for the sweep runner: registry, cache, manifest, scheduler.
+
+The scheduler tests register tiny throwaway experiments; worker
+processes inherit them through fork, so no benchmark-scale cells run
+here.  The determinism test does run one real ``smoke`` cell both
+serially and through a 4-worker pool and requires byte-identical
+envelopes modulo the ``timing`` block — the property the result cache
+is built on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import (
+    Cell,
+    Manifest,
+    ResultCache,
+    UnknownCellError,
+    cell_key,
+    cells_for,
+    execute_cell,
+    experiment_names,
+    parse_selectors,
+    register,
+    run_sweep,
+    source_digest,
+    unregister,
+)
+
+# --------------------------------------------------------------------- #
+# registry                                                               #
+# --------------------------------------------------------------------- #
+
+
+def test_stock_experiments_registered():
+    names = experiment_names()
+    for expected in ("fig1", "tab1", "tab8", "tab9", "fig5", "smoke"):
+        assert expected in names
+
+
+def test_cells_for_enumerates_grid():
+    cells = cells_for("tab8")
+    assert len(cells) == 25  # 5 workloads x 5 policies
+    assert len({c.cell_id for c in cells}) == 25
+    assert all(c.scale_denominator == 128 for c in cells)
+
+
+def test_cells_for_subgrid_and_validation():
+    cells = cells_for("tab8", cases=("hacc-io",), policies=("linux-4kb",))
+    assert [c.cell_id for c in cells] == ["tab8/hacc-io:linux-4kb@128"]
+    with pytest.raises(UnknownCellError):
+        cells_for("tab8", cases=("nope",))
+    with pytest.raises(UnknownCellError):
+        cells_for("tab8", policies=("nope",))
+    with pytest.raises(UnknownCellError):
+        cells_for("no-such-experiment")
+
+
+def test_parse_selectors_grammar():
+    assert parse_selectors(["smoke"]) == cells_for("smoke")
+    assert parse_selectors(["smoke/touch"]) == cells_for("smoke")
+    one = parse_selectors(["smoke:linux-4kb"])
+    assert [c.cell_id for c in one] == ["smoke/touch:linux-4kb@128"]
+    full = parse_selectors(["smoke/touch:hawkeye-g"])
+    assert [c.cell_id for c in full] == ["smoke/touch:hawkeye-g@128"]
+    # dedup preserves first-seen order
+    both = parse_selectors(["smoke:linux-4kb", "smoke"])
+    assert both[0].policy == "linux-4kb"
+    assert len(both) == len(cells_for("smoke"))
+    # 'all' covers every registered experiment
+    everything = parse_selectors(["all"])
+    assert {c.experiment for c in everything} == set(experiment_names())
+
+
+def test_parse_selectors_scale_denominator():
+    cells = parse_selectors(["smoke"], scale_denominator=64)
+    assert all(c.scale_denominator == 64 for c in cells)
+    assert cells[0].scale.factor == pytest.approx(1 / 64)
+
+
+def test_register_rejects_unknown_policy_and_duplicates():
+    with pytest.raises(UnknownCellError):
+        register("bogus", "t", cases=("c",), policies=("not-a-policy",),
+                 run=lambda c, p, s: {})
+    register("dup-exp", "t", cases=("c",), policies=("linux-4kb",),
+             run=lambda c, p, s: {})
+    try:
+        with pytest.raises(ValueError):
+            register("dup-exp", "t", cases=("c",), policies=("linux-4kb",),
+                     run=lambda c, p, s: {})
+    finally:
+        unregister("dup-exp")
+
+
+def test_cell_config_roundtrip():
+    cell = Cell("tab8", "hacc-io", "linux-4kb", 64)
+    assert Cell.from_config(cell.config()) == cell
+
+
+def test_execute_cell_validates():
+    with pytest.raises(UnknownCellError):
+        execute_cell(Cell("smoke", "nope", "linux-4kb"))
+    with pytest.raises(UnknownCellError):
+        execute_cell(Cell("smoke", "touch", "nope"))
+
+
+# --------------------------------------------------------------------- #
+# cache                                                                  #
+# --------------------------------------------------------------------- #
+
+
+def test_cell_key_sensitivity():
+    digest = source_digest()
+    a = Cell("smoke", "touch", "linux-4kb")
+    key = cell_key(a, digest)
+    assert key == cell_key(Cell("smoke", "touch", "linux-4kb"), digest)
+    assert key != cell_key(Cell("smoke", "touch", "linux-2mb"), digest)
+    assert key != cell_key(Cell("smoke", "touch", "linux-4kb", 64), digest)
+    assert key != cell_key(a, "0" * 64)          # source changed
+    assert key != cell_key(a, digest, version=2)  # semantics changed
+
+
+def test_cache_roundtrip_and_corruption(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("abc") is None
+    envelope = {"key": "abc", "result": {"x": 1}}
+    path = cache.put("abc", envelope)
+    assert cache.get("abc") == envelope
+    assert len(cache) == 1
+    assert list(cache.entries()) == [envelope]
+    path.write_text("{not json")
+    assert cache.get("abc") is None  # corrupt entry = miss, not an error
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+# --------------------------------------------------------------------- #
+# manifest                                                               #
+# --------------------------------------------------------------------- #
+
+
+def test_manifest_roundtrip_and_resume(tmp_path):
+    path = tmp_path / "manifest.json"
+    cells = cells_for("smoke")
+    keys = {c: f"k{i}" for i, c in enumerate(cells)}
+    manifest = Manifest(path)
+    manifest.begin(cells, keys, source="deadbeef", jobs=2)
+    manifest.mark(cells[0], "ok", wall_s=1.5, attempts=1)
+    manifest.mark(cells[1], "failed", attempts=2, error="boom")
+    manifest.save()
+
+    loaded = Manifest.load(path)
+    assert loaded is not None
+    assert loaded.cells() == cells
+    assert loaded.pending_cells() == cells[1:]  # failed + untouched
+    assert loaded.summary() == {"ok": 1, "failed": 1, "pending": 1}
+    # re-begin keeps completed entries with unchanged keys
+    loaded.begin(cells, keys, source="deadbeef", jobs=1)
+    assert loaded.summary()["ok"] == 1
+    # a key change (source edit) resets the entry to pending
+    loaded.begin(cells, {c: "new" for c in cells}, source="cafe", jobs=1)
+    assert loaded.summary() == {"pending": 3}
+
+
+def test_manifest_load_rejects_bad_files(tmp_path):
+    assert Manifest.load(tmp_path / "missing.json") is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    assert Manifest.load(bad) is None
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": 999, "cells": {}}))
+    assert Manifest.load(wrong) is None
+
+
+# --------------------------------------------------------------------- #
+# scheduler                                                              #
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def failure_modes_experiment():
+    def run(case, policy, scale):
+        if case == "sleepy":
+            import time
+
+            time.sleep(30)
+        if case == "crashy":
+            import os
+
+            os._exit(3)
+        if case == "faulty":
+            raise RuntimeError("kaboom")
+        return {"case": case, "policy": policy}
+
+    register("failure-modes", "scheduler test grid",
+             cases=("fine", "sleepy", "crashy", "faulty"),
+             policies=("linux-4kb",), run=run)
+    yield
+    unregister("failure-modes")
+
+
+def test_sweep_isolates_failures(failure_modes_experiment):
+    cells = [Cell("failure-modes", c, "linux-4kb")
+             for c in ("fine", "crashy", "faulty")]
+    report = run_sweep(cells, jobs=2, timeout_s=10.0, retries=1)
+    by_case = {o.cell.case: o for o in report.outcomes}
+    assert by_case["fine"].status == "ok"
+    assert by_case["fine"].result == {"case": "fine", "policy": "linux-4kb"}
+    assert by_case["crashy"].status == "crashed"
+    assert by_case["crashy"].attempts == 2
+    assert by_case["faulty"].status == "failed"
+    assert "kaboom" in by_case["faulty"].error
+    assert not report.ok
+    assert report.counts() == {"ok": 1, "crashed": 1, "failed": 1}
+
+
+def test_sweep_cell_timeout(failure_modes_experiment):
+    cells = [Cell("failure-modes", "sleepy", "linux-4kb")]
+    report = run_sweep(cells, jobs=2, timeout_s=0.5, retries=0)
+    outcome = report.outcomes[0]
+    assert outcome.status == "timeout"
+    assert "0s budget" in outcome.error
+    assert outcome.wall_s < 5.0
+
+
+def test_sweep_cache_and_force(tmp_path, failure_modes_experiment):
+    cache = ResultCache(tmp_path)
+    cells = [Cell("failure-modes", "fine", "linux-4kb")]
+    first = run_sweep(cells, cache=cache)
+    assert first.counts() == {"ok": 1}
+    assert len(cache) == 1
+    second = run_sweep(cells, cache=cache)
+    assert second.counts() == {"cached": 1}
+    assert second.executed == 0
+    assert second.results() == first.results()
+    forced = run_sweep(cells, cache=cache, force=True)
+    assert forced.counts() == {"ok": 1}  # executed despite the cache
+
+
+def test_sweep_updates_manifest(tmp_path, failure_modes_experiment):
+    cache = ResultCache(tmp_path)
+    manifest = Manifest(tmp_path / "manifest.json")
+    cells = [Cell("failure-modes", c, "linux-4kb") for c in ("fine", "faulty")]
+    run_sweep(cells, cache=cache, manifest=manifest, retries=0)
+    loaded = Manifest.load(tmp_path / "manifest.json")
+    assert loaded.summary() == {"ok": 1, "failed": 1}
+    assert loaded.pending_cells() == [cells[1]]
+
+
+def test_as_record_shape(failure_modes_experiment):
+    report = run_sweep([Cell("failure-modes", "fine", "linux-4kb")])
+    record = report.outcomes[0].as_record()
+    assert record["cell_id"] == "failure-modes/fine:linux-4kb@128"
+    assert record["experiment"] == "failure-modes"
+    assert record["status"] == "ok"
+    assert record["result"] == {"case": "fine", "policy": "linux-4kb"}
+
+
+# --------------------------------------------------------------------- #
+# determinism: serial vs pooled                                          #
+# --------------------------------------------------------------------- #
+
+
+def _strip_timing(envelope: dict) -> str:
+    stripped = {k: v for k, v in envelope.items() if k != "timing"}
+    return json.dumps(stripped, indent=2, sort_keys=True)
+
+
+def test_smoke_cell_serial_vs_pooled_identical(tmp_path):
+    """One cell run twice — in-process and on a 4-worker pool — must
+    produce byte-identical cached envelopes modulo the timing block."""
+    cell = Cell("smoke", "touch", "linux-4kb")
+    serial_cache = ResultCache(tmp_path / "serial")
+    pooled_cache = ResultCache(tmp_path / "pooled")
+    serial = run_sweep([cell], jobs=1, cache=serial_cache)
+    pooled = run_sweep([cell], jobs=4, cache=pooled_cache)
+    assert serial.ok and pooled.ok
+    key = serial.outcomes[0].key
+    assert key == pooled.outcomes[0].key
+    serial_env = serial_cache.get(key)
+    pooled_env = pooled_cache.get(key)
+    assert _strip_timing(serial_env) == _strip_timing(pooled_env)
+    # and a third, direct in-process execution agrees with both
+    assert execute_cell(cell) == serial_env["result"]
