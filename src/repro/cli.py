@@ -180,12 +180,34 @@ def build_parser() -> argparse.ArgumentParser:
                               help="events to print (default 20; 0 = none)")
     trace_filters(trace_view_p)
 
+    trace_export_p = trace_sub.add_parser(
+        "export", help="convert a recorded JSONL trace to another format")
+    trace_export_p.add_argument("file", help="JSONL trace written by 'trace run'")
+    trace_export_p.add_argument("--chrome", action="store_true",
+                                help="emit Chrome trace-event JSON "
+                                     "(chrome://tracing, ui.perfetto.dev)")
+    trace_export_p.add_argument("--out", default=None,
+                                help="output path (default: input with .json)")
+    trace_export_p.add_argument("--kind", default=None,
+                                help="comma-separated tracepoint names or "
+                                     "subsystems to keep")
+    trace_export_p.add_argument("--process", default=None,
+                                help="only events attributed to this process")
+    trace_export_p.add_argument("--since", type=float, default=None,
+                                help="only events at or after this simulated second")
+    trace_export_p.add_argument("--until", type=float, default=None,
+                                help="only events before this simulated second")
+
     top_p = sub.add_parser(
         "top", help="run a workload printing periodic /proc-style snapshots")
     top_p.add_argument("workload", choices=sorted(WORKLOADS))
     common(top_p)
     top_p.add_argument("--interval", type=float, default=30.0,
                        help="simulated seconds between snapshots (default 30)")
+    top_p.add_argument("--trace", action="store_true",
+                       help="attach a tracer so the trace drop column is live")
+    top_p.add_argument("--trace-capacity", type=int, default=None,
+                       help="tracer ring-buffer capacity (with --trace)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run experiment grids through the cached sweep runner")
@@ -233,6 +255,39 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_clean_p = sweep_sub.add_parser(
         "clean", help="delete cached results and the sweep manifest")
     sweep_common(sweep_clean_p)
+
+    report_p = sub.add_parser(
+        "report", help="render or regression-check a sweep cache")
+    report_sub = report_p.add_subparsers(dest="report_command", required=True)
+
+    report_html_p = report_sub.add_parser(
+        "html", help="write a self-contained HTML dashboard from the cache")
+    sweep_common(report_html_p)
+    report_html_p.add_argument("--out", default="report.html",
+                               help="output path (default report.html)")
+    report_html_p.add_argument("--title", default="HawkEye repro — run report",
+                               help="dashboard title")
+
+    report_regress_p = report_sub.add_parser(
+        "regress",
+        help="compare the cache against a baseline; exit 1 on regression")
+    report_regress_p.add_argument(
+        "baseline", help="baseline JSON (see benchmarks/baselines/)")
+    sweep_common(report_regress_p)
+    report_regress_p.add_argument("--warn", type=float, default=None,
+                                  help="warn band as a relative delta "
+                                       "(default: the baseline's, else 0.01)")
+    report_regress_p.add_argument("--fail", type=float, default=None,
+                                  help="fail band as a relative delta "
+                                       "(default: the baseline's, else 0.05)")
+    report_regress_p.add_argument("--bless", action="store_true",
+                                  help="write the cache's current metrics to "
+                                       "BASELINE instead of comparing")
+    report_regress_p.add_argument("--note", default="",
+                                  help="free-form note stored when blessing")
+    report_regress_p.add_argument("--verbose", action="store_true",
+                                  help="print every metric delta, not just "
+                                       "the flagged ones")
 
     return parser
 
@@ -433,18 +488,41 @@ def _trace_kinds(args) -> list[str] | None:
     return [k.strip() for k in args.kind.split(",") if k.strip()]
 
 
-def _print_trace_reports(events, args, exact_attribution=None) -> None:
-    """Shared --summary/--hist rendering for trace run/view."""
+def _event_histograms(events):
+    """Per-kind log2 latency histograms rebuilt from an event stream."""
+    from repro import trace
+
+    by_kind: dict = {}
+    for e in events:
+        if e.span_us > 0.0:
+            by_kind.setdefault(e.kind, trace.LatencyHistogram()).add(e.span_us)
+    return by_kind
+
+
+def _print_trace_reports(events, args, exact_attribution=None,
+                         exact_histograms=None) -> None:
+    """Shared --summary/--hist rendering for trace run/view.
+
+    The --summary percentile rows are interpolated from the log2
+    buckets: the estimate lands in the true quantile's bucket, so it is
+    within 2x of the true latency (see LatencyHistogram.quantile).
+    """
     from repro import trace
 
     if args.summary:
         table = exact_attribution if exact_attribution is not None else trace.attribution(events)
         print(trace.format_attribution(table))
+        hists = exact_histograms if exact_histograms is not None \
+            else _event_histograms(events)
+        if hists:
+            print("latency percentiles (log2-bucket interpolation, within 2x):")
+            for kind in sorted(hists, key=lambda k: k.value):
+                p = hists[kind].percentiles()
+                print(f"  {kind.value:<18} n={hists[kind].count:<8} "
+                      f"p50={p['p50']:>10.1f}us  p95={p['p95']:>10.1f}us  "
+                      f"p99={p['p99']:>10.1f}us")
     if args.hist:
-        by_kind: dict = {}
-        for e in events:
-            if e.span_us > 0.0:
-                by_kind.setdefault(e.kind, trace.LatencyHistogram()).add(e.span_us)
+        by_kind = _event_histograms(events)
         for kind in sorted(by_kind, key=lambda k: k.value):
             print(trace.format_histogram(by_kind[kind], kind.value))
 
@@ -478,6 +556,7 @@ def _cmd_trace_run(args) -> int:
     _print_trace_reports(
         filtered, args,
         exact_attribution=tracer.attribution() if unfiltered else None,
+        exact_histograms=tracer.histograms if unfiltered else None,
     )
     return 0 if result["outcome"] == "completed" else 1
 
@@ -506,17 +585,46 @@ def _cmd_trace_view(args) -> int:
     return 0
 
 
+def _cmd_trace_export(args) -> int:
+    """`repro trace export`: convert a JSONL trace to Chrome trace JSON."""
+    import os
+
+    from repro import trace
+    from repro.metrics.export import trace_from_jsonl, trace_to_chrome
+
+    if not args.chrome:
+        print("choose an export format: --chrome", file=sys.stderr)
+        return 2
+    if not os.path.exists(args.file):
+        print(f"trace file not found: {args.file}", file=sys.stderr)
+        return 2
+    with open(args.file) as fh:
+        events = trace_from_jsonl(fh.read())
+    filtered = trace.filter_events(
+        events, _trace_kinds(args), args.process, args.since, args.until)
+    out = args.out or (os.path.splitext(args.file)[0] + ".chrome.json")
+    with open(out, "w") as fh:
+        fh.write(trace_to_chrome(filtered))
+    print(f"{len(filtered)} events (of {len(events)} in {args.file}) "
+          f"written to {out}; open in chrome://tracing or ui.perfetto.dev")
+    return 0
+
+
 def cmd_trace(args) -> int:
-    """`repro trace`: dispatch to the run/view sub-commands."""
+    """`repro trace`: dispatch to the run/view/export sub-commands."""
     if args.trace_command == "run":
         return _cmd_trace_run(args)
-    return _cmd_trace_view(args)
+    if args.trace_command == "view":
+        return _cmd_trace_view(args)
+    return _cmd_trace_export(args)
 
 
-#: columns of the `repro top` display, in print order.
+#: columns of the `repro top` display, in print order.  ``trdrop/s`` is
+#: the tracer ring-buffer drop rate — "-" with no tracer attached, 0
+#: for a lossless trace, nonzero when the recorded trace is lossy.
 TOP_COLUMNS = [
     "t_s", "free_mb", "alloc_%", "thp_mb", "fmfi",
-    "pgfault/s", "promo/s", "split/s", "swap/s",
+    "pgfault/s", "promo/s", "split/s", "swap/s", "trdrop/s",
 ]
 
 
@@ -553,12 +661,20 @@ def cmd_top(args) -> int:
             f"{rates['thp_collapse_alloc'] + rates['thp_promote_inplace']:.1f}",
             f"{rates['thp_split']:.1f}",
             f"{rates['pswpout'] + rates['pswpin']:.1f}",
+            "-" if not vm["trace_attached"] else f"{rates['trace_dropped']:.0f}",
         ]
         print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
         state["last_t"] = t_s
         state["last_vmstat"] = vm
 
     def setup(kernel):
+        if args.trace:
+            from repro import trace
+
+            capacity = args.trace_capacity or trace.DEFAULT_CAPACITY
+            # drops are surfaced in the trdrop/s column; the one-shot
+            # RuntimeWarning would just interleave with the table.
+            trace.attach(kernel, capacity, warn_on_drop=False)
         kernel.epoch_hooks.append(snapshot)
 
     result = _execute(args.workload, args.policy, args, setup=setup)
@@ -701,6 +817,60 @@ def cmd_sweep(args) -> int:
     return _cmd_sweep_clean(args)
 
 
+def _cmd_report_html(args) -> int:
+    """`repro report html`: write the self-contained dashboard."""
+    from repro.report import render_report
+
+    cache, _ = _sweep_paths(args)
+    html = render_report(cache, title=args.title)
+    with open(args.out, "w") as fh:
+        fh.write(html)
+    print(f"report written to {args.out} "
+          f"({len(html) // 1024} KiB, no external assets)")
+    return 0
+
+
+def _cmd_report_regress(args) -> int:
+    """`repro report regress`: gate the cache against a baseline."""
+    from repro.report import bless, compare, load_baseline
+    from repro.report.regress import (
+        DEFAULT_FAIL,
+        DEFAULT_WARN,
+        BaselineError,
+        format_report,
+        save_baseline,
+    )
+
+    cache, _ = _sweep_paths(args)
+    if args.bless:
+        try:
+            doc = bless(cache,
+                        warn=args.warn if args.warn is not None else DEFAULT_WARN,
+                        fail=args.fail if args.fail is not None else DEFAULT_FAIL,
+                        note=args.note)
+        except BaselineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        path = save_baseline(doc, args.baseline)
+        print(f"blessed {len(doc['cells'])} cells into {path}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = compare(baseline, cache, warn=args.warn, fail=args.fail)
+    print(format_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def cmd_report(args) -> int:
+    """`repro report`: dispatch to the html/regress sub-commands."""
+    if args.report_command == "html":
+        return _cmd_report_html(args)
+    return _cmd_report_regress(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -718,6 +888,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_top(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "report":
+        return cmd_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

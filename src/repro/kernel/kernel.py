@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro import trace
 from repro.errors import InvalidAddressError, OutOfMemoryError
+from repro.metrics import telemetry as telemetry_mod
 from repro.kernel.costs import CostModel
 from repro.kernel.fault import handle_fault, handle_fault_range
 from repro.kernel.stats import KernelStats
@@ -118,6 +119,11 @@ class Kernel:
         #: emission site first tests the module-level ``trace.enabled``
         #: flag, so this slot costs nothing while it stays None.
         self.trace: Optional[trace.Tracer] = None
+        #: epoch telemetry sampler; attach with
+        #: :func:`repro.metrics.telemetry.attach` (same contract: the
+        #: epoch loop tests the module-level flag first, so an empty
+        #: slot is one attribute load away from free).
+        self.telemetry: Optional["telemetry_mod.TelemetrySampler"] = None
         self.now_us = 0.0
         self.processes: list[Process] = []
         self.runs: list["WorkloadRun"] = []
@@ -154,6 +160,8 @@ class Kernel:
         #: canonical frames for ksm-merged (content-identical) pages.
         self.cow_registry = CowShareRegistry(self)
         self.policy: "HugePagePolicy" = policy_factory(self)
+        if telemetry_mod.capturing:
+            telemetry_mod.autoattach(self)
 
     # ------------------------------------------------------------------ #
     # process / workload management                                       #
@@ -644,6 +652,8 @@ class Kernel:
         self.now_us += self.config.epoch_us
         if self.stats.epochs % self.config.sample_period == 0:
             self._sample_access_bits()
+        if telemetry_mod.enabled and (ts := self.telemetry) is not None and ts.enabled:
+            ts.on_epoch(self)
         for hook in self.epoch_hooks:
             hook(self)
 

@@ -36,8 +36,17 @@ def meminfo(kernel: "Kernel") -> dict[str, int]:
 
 
 def vmstat(kernel: "Kernel") -> dict[str, float]:
-    """Counter snapshot in the spirit of /proc/vmstat."""
+    """Counter snapshot in the spirit of /proc/vmstat.
+
+    The three ``trace_*`` keys expose the tracer's health: whether one
+    is attached, how many events it has counted, and how many the ring
+    buffer dropped — so ``repro top`` (and any scraper) can tell when a
+    recorded trace is lossy.  All are 0 with no tracer attached;
+    ``trace_attached`` is point-in-time state, the other two are
+    cumulative like every other key.
+    """
     s = kernel.stats
+    tracer = kernel.trace
     return {
         "pgfault": s.faults,
         "pgfault_huge": s.huge_faults,
@@ -53,6 +62,9 @@ def vmstat(kernel: "Kernel") -> dict[str, float]:
         "oom_kill": s.oom_kills,
         "pswpout": kernel.swap.swap_outs if kernel.swap else 0,
         "pswpin": kernel.swap.swap_ins if kernel.swap else 0,
+        "trace_attached": 1 if tracer is not None else 0,
+        "trace_events": sum(tracer.counts.values()) if tracer is not None else 0,
+        "trace_dropped": tracer.dropped if tracer is not None else 0,
     }
 
 

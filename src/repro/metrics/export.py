@@ -93,6 +93,57 @@ def trace_to_jsonl(events: Iterable[TraceEvent]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def trace_to_chrome(events: Iterable[TraceEvent]) -> str:
+    """Tracepoint stream as Chrome trace-event JSON (Perfetto-loadable).
+
+    Open the output at ``chrome://tracing`` or https://ui.perfetto.dev.
+    Layout: one *process track* per simulated process (pid assigned in
+    sorted name order) and one *thread* per kernel subsystem within it,
+    so promotions, faults and compaction stack as separate swimlanes.
+    Events with a simulated span become complete (``ph: "X"``) slices —
+    ``ts`` is the emission timestamp (simulated time does not advance
+    within an epoch's fault burst, so that is the span's start) and
+    ``dur`` the charged span, so slices nest when their time ranges
+    do — and zero-span decision events become thread-scoped instants
+    (``ph: "i"``).  Timestamps are simulated microseconds, which is
+    exactly the unit the format wants.
+    """
+    events = list(events)
+    pids = {name: i + 1 for i, name in
+            enumerate(sorted({e.process for e in events}))}
+    tids = {sub: i + 1 for i, sub in
+            enumerate(sorted({e.kind.subsystem for e in events}))}
+    records: list[dict] = []
+    for name, pid in pids.items():
+        records.append({"ph": "M", "name": "process_name", "pid": pid,
+                        "tid": 0, "args": {"name": name}})
+        for sub, tid in tids.items():
+            records.append({"ph": "M", "name": "thread_name", "pid": pid,
+                            "tid": tid, "args": {"name": sub}})
+    for e in events:
+        record = {
+            "name": e.kind.value,
+            "cat": e.kind.subsystem,
+            "pid": pids[e.process],
+            "tid": tids[e.kind.subsystem],
+        }
+        args = {}
+        if e.page is not None:
+            args["page"] = e.page
+        if e.detail:
+            args["detail"] = e.detail
+        if args:
+            record["args"] = args
+        if e.span_us > 0.0:
+            record.update(ph="X", ts=round(e.t_us, 3),
+                          dur=round(e.span_us, 3))
+        else:
+            record.update(ph="i", ts=round(e.t_us, 3), s="t")
+        records.append(record)
+    return json.dumps({"traceEvents": records, "displayTimeUnit": "ms"},
+                      indent=None, separators=(",", ":"))
+
+
 def trace_from_jsonl(text: str) -> list[TraceEvent]:
     """Parse a JSONL trace back into :class:`repro.trace.TraceEvent`s."""
     events = []
@@ -112,10 +163,11 @@ def trace_from_jsonl(text: str) -> list[TraceEvent]:
     return events
 
 
-#: flat columns of a sweep-cell CSV row, in print order.
+#: fixed identity/status columns of a sweep-cell CSV row, in print
+#: order; the per-result metric columns follow, sorted by name.
 SWEEP_CSV_COLUMNS = [
     "cell_id", "experiment", "case", "policy", "scale_denominator",
-    "status", "attempts", "wall_s", "key", "error", "result_json",
+    "status", "attempts", "wall_s", "key", "error",
 ]
 
 
@@ -126,19 +178,33 @@ def cells_to_jsonl(records: Iterable[dict]) -> str:
 
 
 def cells_to_csv(records: Iterable[dict]) -> str:
-    """Sweep cell records as CSV; nested results become a JSON column."""
+    """Sweep cell records as CSV with a stable, labeled column order.
+
+    Columns: ``cell_id`` first, then the fixed identity/status columns
+    (:data:`SWEEP_CSV_COLUMNS`), then one labeled ``result.<metric>``
+    column per flattened scalar metric, sorted by name — the union
+    across all records, so every row has every column and two runs over
+    the same grid produce byte-identical headers (baseline diffs stay
+    deterministic).  Non-scalar result leaves (time series lists)
+    appear as ``.len`` counts, matching the regression gate's view.
+    """
+    from repro.report.data import flatten_scalars
+
+    records = list(records)
+    flat = [flatten_scalars(record.get("result") or {}) for record in records]
+    metric_columns = sorted({name for scalars in flat for name in scalars})
     out = io.StringIO()
     writer = csv.writer(out)
-    writer.writerow(SWEEP_CSV_COLUMNS)
-    for record in records:
+    writer.writerow(SWEEP_CSV_COLUMNS
+                    + [f"result.{name}" for name in metric_columns])
+    for record, scalars in zip(records, flat):
         row = []
         for column in SWEEP_CSV_COLUMNS:
-            if column == "result_json":
-                result = record.get("result")
-                row.append("" if result is None else json.dumps(result, sort_keys=True))
-            else:
-                value = record.get(column)
-                row.append("" if value is None else value)
+            value = record.get(column)
+            row.append("" if value is None else value)
+        for name in metric_columns:
+            value = scalars.get(name)
+            row.append("" if value is None else value)
         writer.writerow(row)
     return out.getvalue()
 

@@ -26,6 +26,7 @@ import time
 
 from repro import trace
 from repro.experiments import POLICIES, Scale, make_kernel, reset_sim_state
+from repro.metrics import telemetry
 from repro.units import GB, MB
 from repro.workloads.base import ContentSpec, FreeOp, Phase, TouchOp, Workload
 
@@ -63,11 +64,12 @@ class _TouchBench(Workload):
 def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") -> float:
     """One timed run; returns wall seconds.
 
-    ``trace_mode`` selects the tracing state under test: ``"off"`` (no
-    tracer — the production default), ``"disabled"`` (tracer attached,
-    module flag armed, but ``tracer.enabled = False`` so every emission
-    guard is evaluated and rejected — the state the <5 % overhead gate
-    measures) or ``"on"`` (full emission).
+    ``trace_mode`` selects the observability state under test: ``"off"``
+    (no tracer, no sampler — the production default), ``"disabled"``
+    (tracer *and* telemetry sampler attached, module flags armed, but
+    both instance gates off so every guard is evaluated and rejected —
+    the state the <5 % overhead gate measures) or ``"on"`` (full
+    emission and sampling).
     """
     reset_sim_state()
     # make_kernel takes the *full-scale* size; 2x headroom over the region
@@ -78,6 +80,8 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
     if trace_mode != "off":
         tracer = trace.attach(kernel)
         tracer.enabled = trace_mode == "on"
+        sampler = telemetry.attach(kernel)
+        sampler.enabled = trace_mode == "on"
     bench = _TouchBench(npages)
     run = kernel.spawn(bench)
     kernel.mmap(run.proc, bench.mmap_bytes(), "heap")
@@ -88,6 +92,7 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
     finally:
         if trace_mode != "off":
             trace.detach(kernel)
+            telemetry.detach(kernel)
     if not run.finished:
         raise RuntimeError("touch benchmark did not finish within the epoch cap")
     return elapsed
@@ -100,11 +105,12 @@ def touch_benchmark(
 
     Returns a JSON-friendly dict with the best-of-``repeats`` wall time
     for each mode, the derived pages/second, and the batched/scalar
-    speedup ratio.  A third timed configuration — a tracer attached but
-    with emission disabled (``trace_mode="disabled"``) — yields
-    ``trace_overhead``, the fractional cost of the *armed-but-silent*
-    tracepoint guards relative to the no-tracer run; the tentpole's
-    zero-cost-when-disabled contract gates this below 5 %.
+    speedup ratio.  A third timed configuration — a tracer *and* a
+    telemetry sampler attached but with emission/sampling disabled
+    (``trace_mode="disabled"``) — yields ``trace_overhead``, the
+    fractional cost of the *armed-but-silent* observability guards
+    relative to the bare run; the zero-cost-when-disabled contract
+    gates this below 5 % for tracepoints and registry alike.
     """
     total_pages = 2 * npages  # grow + regrow both touch the full region
     scalar_s = min(_run_once(policy, npages, batched=False) for _ in range(repeats))

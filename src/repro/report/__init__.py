@@ -1,0 +1,21 @@
+"""Run reports: HTML dashboards and baseline regression gates.
+
+Both consumers read the same input — the sweep result cache
+(:class:`repro.runner.cache.ResultCache` envelopes, each carrying a cell
+result plus its captured telemetry) — and are reached through the CLI:
+``repro report html`` renders a self-contained dashboard;
+``repro report regress`` compares the cache against a checked-in
+baseline with tolerance bands and exits non-zero on regression.
+"""
+
+from repro.report.data import latest_envelopes
+from repro.report.regress import bless, compare, load_baseline
+from repro.report.html import render_report
+
+__all__ = [
+    "latest_envelopes",
+    "bless",
+    "compare",
+    "load_baseline",
+    "render_report",
+]

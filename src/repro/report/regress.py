@@ -1,0 +1,233 @@
+"""Tolerance-band regression gate against checked-in baselines.
+
+A *baseline* is a JSON file mapping cell ids to their blessed metric
+values (see :func:`bless`); :func:`compare` re-derives the same metrics
+from a sweep cache and classifies every (cell, metric) pair:
+
+* **pass** — relative delta within the warn band;
+* **warn** — between the warn and fail bands (reported, exit 0);
+* **fail** — beyond the fail band, or a metric that appeared/vanished;
+* **missing** — a baselined cell absent from the cache entirely.
+
+The simulator is deterministic for a fixed source tree, so the default
+bands are tight: any drift at all is a *behaviour change* — either a
+regression or something to re-bless deliberately (``repro report
+regress --bless``).  Deltas are symmetric on purpose: an unexplained
+improvement is still an unexplained change.  All compared metrics are
+simulated-time quantities; wall-clock never enters the baseline, so the
+gate behaves identically on a laptop and in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.report.data import latest_envelopes, metrics_by_cell
+from repro.runner.cache import ResultCache
+
+#: baseline file schema version.
+BASELINE_VERSION = 1
+
+#: default tolerance bands (relative).  The simulator is deterministic,
+#: so these are deliberately tight; they exist to absorb float noise
+#: and intentional sub-percent retunes, not real drift.
+DEFAULT_WARN = 0.01
+DEFAULT_FAIL = 0.05
+
+
+class BaselineError(ReproError):
+    """A baseline file was missing or malformed."""
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared against its blessed value."""
+
+    name: str
+    baseline: float | None
+    current: float | None
+    rel: float | None          # signed relative delta; None when undefined
+    status: str                # pass | warn | fail
+
+    def describe(self) -> str:
+        """One-line human rendering."""
+        if self.baseline is None:
+            return f"{self.name}: new metric (={self.current:g})"
+        if self.current is None:
+            return f"{self.name}: metric vanished (was {self.baseline:g})"
+        delta = f"{self.rel:+.2%}" if self.rel is not None else "n/a"
+        return (f"{self.name}: {self.baseline:g} -> {self.current:g} "
+                f"({delta})")
+
+
+@dataclass
+class CellComparison:
+    """Every metric delta for one cell, with the cell's worst status."""
+
+    cell_id: str
+    status: str                # pass | warn | fail | missing | new
+    deltas: list[MetricDelta] = field(default_factory=list)
+
+    def flagged(self) -> list[MetricDelta]:
+        """The deltas that are not clean passes, worst first."""
+        rank = {"fail": 0, "warn": 1, "pass": 2}
+        return sorted((d for d in self.deltas if d.status != "pass"),
+                      key=lambda d: rank[d.status])
+
+
+@dataclass
+class RegressionReport:
+    """The full comparison: one :class:`CellComparison` per cell."""
+
+    cells: list[CellComparison]
+    warn_band: float
+    fail_band: float
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of cell statuses."""
+        out: dict[str, int] = {}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no fails and no missing cells."""
+        return all(c.status in ("pass", "warn", "new") for c in self.cells)
+
+
+def _classify(rel: float | None, warn: float, fail: float) -> str:
+    """Band a relative delta (None = undefined ratio = automatic fail)."""
+    if rel is None:
+        return "fail"
+    if abs(rel) <= warn:
+        return "pass"
+    if abs(rel) <= fail:
+        return "warn"
+    return "fail"
+
+
+def compare_metrics(baseline: dict[str, float], current: dict[str, float],
+                    warn: float, fail: float) -> list[MetricDelta]:
+    """Classify every metric present in either dict."""
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(baseline) | set(current)):
+        base, cur = baseline.get(name), current.get(name)
+        if base is None or cur is None:
+            deltas.append(MetricDelta(name, base, cur, None, "fail"))
+            continue
+        if base == 0.0:
+            rel = None if cur != 0.0 else 0.0
+        else:
+            rel = (cur - base) / abs(base)
+        deltas.append(MetricDelta(name, base, cur, rel,
+                                  _classify(rel, warn, fail)))
+    return deltas
+
+
+def compare(baseline: dict, cache: ResultCache,
+            warn: float | None = None, fail: float | None = None) -> RegressionReport:
+    """Compare a sweep cache against a loaded baseline document.
+
+    ``warn``/``fail`` override the bands recorded in the baseline.
+    Cells in the cache but not the baseline report as ``new`` (visible
+    but not gating — bless to start tracking them).
+    """
+    tolerance = baseline.get("tolerance", {})
+    warn = tolerance.get("warn", DEFAULT_WARN) if warn is None else warn
+    fail = tolerance.get("fail", DEFAULT_FAIL) if fail is None else fail
+    current = metrics_by_cell(latest_envelopes(cache))
+    cells: list[CellComparison] = []
+    baselined = baseline.get("cells", {})
+    for cell_id in sorted(set(baselined) | set(current)):
+        if cell_id not in current:
+            cells.append(CellComparison(cell_id, "missing"))
+            continue
+        if cell_id not in baselined:
+            cells.append(CellComparison(cell_id, "new"))
+            continue
+        deltas = compare_metrics(baselined[cell_id].get("metrics", {}),
+                                 current[cell_id], warn, fail)
+        worst = "pass"
+        for delta in deltas:
+            if delta.status == "fail":
+                worst = "fail"
+                break
+            if delta.status == "warn":
+                worst = "warn"
+        cells.append(CellComparison(cell_id, worst, deltas))
+    return RegressionReport(cells, warn, fail)
+
+
+def bless(cache: ResultCache, warn: float = DEFAULT_WARN,
+          fail: float = DEFAULT_FAIL, note: str = "") -> dict:
+    """Build a baseline document from a sweep cache's current contents."""
+    envelopes = latest_envelopes(cache)
+    if not envelopes:
+        raise BaselineError(f"no cached cells under {cache.root} to bless")
+    sources = {env.get("source", "") for env in envelopes.values()}
+    return {
+        "version": BASELINE_VERSION,
+        "note": note,
+        "source": sorted(sources)[0] if len(sources) == 1 else "mixed",
+        "tolerance": {"warn": warn, "fail": fail},
+        "cells": {
+            cell_id: {"metrics": metrics}
+            for cell_id, metrics in sorted(metrics_by_cell(envelopes).items())
+        },
+    }
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read and sanity-check a baseline file."""
+    path = Path(path)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "cells" not in doc:
+        raise BaselineError(f"baseline {path} has no 'cells' section")
+    return doc
+
+
+def save_baseline(doc: dict, path: str | Path) -> Path:
+    """Write a baseline document (stable formatting for clean diffs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_report(report: RegressionReport, verbose: bool = False) -> str:
+    """Render a comparison as aligned text (the CLI's output)."""
+    lines = [
+        f"regression check (warn > {report.warn_band:.2%}, "
+        f"fail > {report.fail_band:.2%})"
+    ]
+    for cell in report.cells:
+        flagged = cell.flagged()
+        marker = {"pass": "ok  ", "warn": "WARN", "fail": "FAIL",
+                  "missing": "MISS", "new": "new "}[cell.status]
+        detail = ""
+        if cell.status == "missing":
+            detail = "  (baselined cell absent from cache)"
+        elif cell.status == "new":
+            detail = "  (not in baseline; bless to track)"
+        elif flagged:
+            detail = f"  ({len(flagged)} metric(s) outside bands)"
+        lines.append(f"  {marker}  {cell.cell_id}{detail}")
+        show = flagged if not verbose else cell.deltas
+        for delta in show:
+            lines.append(f"          {delta.status:<4} {delta.describe()}")
+    counts = report.counts()
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    lines.append(f"  -> {summary}: {'OK' if report.ok else 'REGRESSION'}")
+    return "\n".join(lines)

@@ -205,3 +205,22 @@ def execute_cell(cell: Cell) -> dict:
     reset_sim_state()
     result = exp.run(cell.case, cell.policy, cell.scale)
     return json.loads(json.dumps(result))
+
+
+def execute_cell_with_telemetry(cell: Cell) -> tuple[dict, list[dict]]:
+    """Run one cell with telemetry capture armed.
+
+    Returns ``(result, artifacts)`` where ``result`` is exactly what
+    :func:`execute_cell` returns (capture observes, never perturbs
+    simulated state) and ``artifacts`` is one JSON-able
+    ``RunTelemetry.to_dict()`` per kernel the cell built — the payload
+    the scheduler persists beside the cache entry.
+    """
+    from repro.metrics import telemetry
+
+    telemetry.start_capture()
+    try:
+        result = execute_cell(cell)
+    finally:
+        artifacts = telemetry.end_capture({"cell_id": cell.cell_id})
+    return result, [a.to_dict() for a in artifacts]

@@ -34,7 +34,7 @@ from typing import Callable
 
 from repro.runner.cache import ResultCache, cell_key, source_digest
 from repro.runner.manifest import Manifest
-from repro.runner.registry import Cell, execute_cell, get_experiment
+from repro.runner.registry import Cell, execute_cell_with_telemetry, get_experiment
 
 #: default per-cell wall-clock budget (seconds); generous — a paper
 #: cell at 1/128 scale takes single-digit seconds.
@@ -57,6 +57,11 @@ class CellOutcome:
     wall_s: float = 0.0
     attempts: int = 0
     key: str = ""
+    #: RunTelemetry.to_dict() artifacts captured while the cell ran
+    #: (restored from the cache envelope for cached outcomes).  Not part
+    #: of as_record(): the JSONL/CSV row stays lean; readers that want
+    #: telemetry go through the cache entries or this attribute.
+    telemetry: list | None = None
 
     @property
     def good(self) -> bool:
@@ -102,8 +107,8 @@ def _guarded_execute(cell: Cell, timeout_s: float | None) -> tuple:
     """Run one cell, trapping failure/timeout into a status tuple.
 
     Runs in the worker process (or inline for serial sweeps).  Returns
-    ``(status, result, error, wall_s)`` — never raises, so a worker only
-    dies if the cell takes the whole process down with it.
+    ``(status, result, error, wall_s, telemetry)`` — never raises, so a
+    worker only dies if the cell takes the whole process down with it.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -120,15 +125,15 @@ def _guarded_execute(cell: Cell, timeout_s: float | None) -> tuple:
         old_handler = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        result = execute_cell(cell)
-        return ("ok", result, None, time.perf_counter() - start)
+        result, telemetry = execute_cell_with_telemetry(cell)
+        return ("ok", result, None, time.perf_counter() - start, telemetry)
     except _CellTimeout:
         return ("timeout", None,
                 f"cell exceeded its {timeout_s:.0f}s budget",
-                time.perf_counter() - start)
+                time.perf_counter() - start, None)
     except Exception:
         return ("failed", None, traceback.format_exc(limit=8),
-                time.perf_counter() - start)
+                time.perf_counter() - start, None)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -155,9 +160,9 @@ def _execute_round(cells: list[Cell], jobs: int,
                 # reports a crash (retried on the next round's new pool).
                 out.append((cell, ("crashed", None,
                                    "worker process died while running this cell",
-                                   0.0)))
+                                   0.0, None)))
             except Exception as exc:  # submission/pickling problems
-                out.append((cell, ("failed", None, repr(exc), 0.0)))
+                out.append((cell, ("failed", None, repr(exc), 0.0, None)))
     return out
 
 
@@ -179,9 +184,9 @@ def _execute_isolated(cells: list[Cell],
             except BrokenProcessPool:
                 out.append((cell, ("crashed", None,
                                    "worker process died while running this cell",
-                                   0.0)))
+                                   0.0, None)))
             except Exception as exc:
-                out.append((cell, ("failed", None, repr(exc), 0.0)))
+                out.append((cell, ("failed", None, repr(exc), 0.0, None)))
     return out
 
 
@@ -257,7 +262,8 @@ def run_sweep(
         envelope = None if (cache is None or force) else cache.get(keys[cell])
         if envelope is not None:
             settle(CellOutcome(cell, "cached", envelope["result"],
-                               key=keys[cell]))
+                               key=keys[cell],
+                               telemetry=envelope.get("telemetry")))
         else:
             pending.append(cell)
 
@@ -271,7 +277,7 @@ def run_sweep(
         pooled = [c for c in round_cells if last_status.get(c) != "crashed"]
         round_results = _execute_round(pooled, jobs, timeout_s)
         round_results += _execute_isolated(isolated, timeout_s)
-        for cell, (status, result, error, wall) in round_results:
+        for cell, (status, result, error, wall, telemetry) in round_results:
             attempts[cell] += 1
             last_status[cell] = status
             if status == "ok":
@@ -281,6 +287,7 @@ def run_sweep(
                     "cell": cell.config(),
                     "source": digest,
                     "result": result,
+                    "telemetry": telemetry or [],
                     "timing": {
                         "wall_s": round(wall, 3),
                         "finished_at": time.time(),
@@ -290,7 +297,8 @@ def run_sweep(
                 if cache is not None:
                     cache.put(keys[cell], envelope)
                 settle(CellOutcome(cell, "ok", result, wall_s=wall,
-                                   attempts=attempts[cell], key=keys[cell]))
+                                   attempts=attempts[cell], key=keys[cell],
+                                   telemetry=telemetry or []))
             elif attempts[cell] <= retries:
                 pending.append(cell)
             else:

@@ -158,6 +158,69 @@ class LatencyHistogram:
         """``(bucket_index, count)`` pairs in ascending bucket order."""
         return sorted(self.buckets.items())
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the log2 buckets.
+
+        Samples are interpolated linearly within their bucket, as if
+        uniformly distributed over ``[2**i, 2**(i+1))``.  Error bound:
+        the true quantile provably lies in the same bucket as the
+        estimate, so the estimate is off by less than one bucket width —
+        within a factor of 2 of the true value, and the signed error is
+        at most ``2**i`` µs for a quantile landing in bucket ``i``.  The
+        exact min/max are tracked separately, so the estimate is clamped
+        into ``[min_us, max_us]`` (this makes single-sample and
+        extreme-quantile estimates exact).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for idx, count in self.items():
+            if cumulative + count >= target:
+                lo, hi = self.bucket_bounds(idx)
+                fraction = (target - cumulative) / count
+                estimate = lo + fraction * (hi - lo)
+                return min(max(estimate, self.min_us), self.max_us)
+            cumulative += count
+        return self.max_us
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 estimates (see :meth:`quantile`)."""
+        return {"p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+    def to_dict(self) -> dict:
+        """JSON-able form: buckets, exact moments, and p50/p95/p99.
+
+        The percentile fields are derived (recomputed by
+        :meth:`from_dict` round-trips); buckets/count/total/min/max are
+        the lossless state.
+        """
+        out: dict = {
+            "buckets": {str(idx): count for idx, count in self.items()},
+            "count": self.count,
+            "total_us": self.total_us,
+        }
+        if self.count:
+            out["min_us"] = self.min_us
+            out["max_us"] = self.max_us
+            out.update(self.percentiles())
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        """Rebuild a histogram serialised by :meth:`to_dict`."""
+        hist = cls()
+        hist.buckets = {int(idx): count for idx, count in data["buckets"].items()}
+        hist.count = data["count"]
+        hist.total_us = data["total_us"]
+        if hist.count:
+            hist.min_us = data["min_us"]
+            hist.max_us = data["max_us"]
+        return hist
+
     @staticmethod
     def bucket_bounds(idx: int) -> tuple[float, float]:
         """The ``[lo, hi)`` µs range of bucket ``idx``."""
@@ -177,7 +240,8 @@ class Tracer:
     :class:`repro.metrics.events.EventLog`.
     """
 
-    def __init__(self, kernel: "Kernel", capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, kernel: "Kernel", capacity: int = DEFAULT_CAPACITY,
+                 warn_on_drop: bool = True):
         self.kernel = kernel
         self.capacity = capacity
         #: per-tracer gate: False pauses emission while staying attached
@@ -185,7 +249,7 @@ class Tracer:
         self.enabled = True
         self.events: list[TraceEvent] = []
         self.dropped = 0
-        self._warned_drop = False
+        self._warned_drop = not warn_on_drop
         self.counts: dict[TraceKind, int] = {}
         self.spans: dict[TraceKind, float] = {}
         self.histograms: dict[TraceKind, LatencyHistogram] = {}
@@ -274,16 +338,19 @@ class Tracer:
 # ---------------------------------------------------------------------- #
 
 
-def attach(kernel: "Kernel", capacity: int = DEFAULT_CAPACITY) -> Tracer:
+def attach(kernel: "Kernel", capacity: int = DEFAULT_CAPACITY,
+           warn_on_drop: bool = True) -> Tracer:
     """Attach a :class:`Tracer` to ``kernel`` and arm the global flag.
 
     Returns the kernel's existing tracer unchanged if one is already
-    attached (re-attachment is idempotent).
+    attached (re-attachment is idempotent).  ``warn_on_drop=False``
+    silences the one-shot ring-buffer-full warning (telemetry capture
+    uses a deliberately small buffer and relies on the exact counters).
     """
     global enabled, _attached
     if kernel.trace is not None:
         return kernel.trace
-    tracer = Tracer(kernel, capacity)
+    tracer = Tracer(kernel, capacity, warn_on_drop)
     kernel.trace = tracer
     _attached += 1
     enabled = True

@@ -6,6 +6,7 @@ import pytest
 
 from repro import trace
 from repro.core.hawkeye import HawkEyePolicy
+from repro.metrics import telemetry
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.policies.linux import Linux4KPolicy, LinuxTHPPolicy
 from repro.units import MB
@@ -13,9 +14,10 @@ from repro.units import MB
 
 @pytest.fixture(autouse=True)
 def _reset_trace():
-    """Disarm the global tracepoint flag after every test (isolation)."""
+    """Disarm the global trace/telemetry flags after every test (isolation)."""
     yield
     trace.reset()
+    telemetry.reset()
 
 
 def small_config(mem_mb: int = 64, **overrides) -> KernelConfig:

@@ -213,3 +213,117 @@ def test_sweep_resume_reruns_manifest(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "resuming 1 cells" in captured.err
     assert "cached" in captured.out
+
+
+def test_trace_export_chrome(tmp_path, capsys):
+    jsonl = tmp_path / "trace.jsonl"
+    main(["trace", "run", "alloc-touch-free", "--policy", "hawkeye-g",
+          "--scale", "256", "--max-epochs", "500", "--out", str(jsonl)])
+    capsys.readouterr()
+    out = tmp_path / "trace.chrome.json"
+    rc = main(["trace", "export", str(jsonl), "--chrome", "--out", str(out)])
+    assert rc == 0
+    assert "written to" in capsys.readouterr().out
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    slices = [r for r in doc["traceEvents"] if r.get("ph") == "X"]
+    assert slices and all(r["dur"] > 0 and r["ts"] >= 0 for r in slices)
+
+    # default output name: input stem + .chrome.json
+    rc = main(["trace", "export", str(jsonl), "--chrome"])
+    assert rc == 0
+    capsys.readouterr()
+    assert (tmp_path / "trace.chrome.json").exists()
+
+
+def test_trace_export_requires_format(tmp_path, capsys):
+    jsonl = tmp_path / "t.jsonl"
+    jsonl.write_text("")
+    assert main(["trace", "export", str(jsonl)]) == 2
+    assert "--chrome" in capsys.readouterr().err
+    assert main(["trace", "export", "/no/such.jsonl", "--chrome"]) == 2
+
+
+def test_trace_summary_prints_percentiles(tmp_path, capsys):
+    rc = main(["trace", "run", "alloc-touch-free", "--policy", "linux-4kb",
+               "--scale", "256", "--max-epochs", "500", "--summary"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency percentiles" in out
+    assert "p50" in out and "p99" in out
+
+
+def test_top_trace_flag_fills_drop_column(capsys):
+    rc = main(["top", "alloc-touch-free", "--policy", "linux-2mb",
+               "--scale", "256", "--max-epochs", "500", "--interval", "10",
+               "--trace", "--trace-capacity", "50"])
+    assert rc == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert "trdrop/s" in lines[0]
+    assert not lines[1].rstrip().endswith("-")
+
+
+def test_top_without_trace_shows_dash(capsys):
+    rc = main(["top", "alloc-touch-free", "--policy", "linux-2mb",
+               "--scale", "256", "--max-epochs", "500", "--interval", "10"])
+    assert rc == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[1].rstrip().endswith("-")
+
+
+def test_report_html_and_regress_flow(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["sweep", "run", "smoke:linux-4kb",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    html_path = tmp_path / "report.html"
+    rc = main(["report", "html", "--cache-dir", cache_dir,
+               "--out", str(html_path)])
+    assert rc == 0
+    assert "written to" in capsys.readouterr().out
+    html = html_path.read_text()
+    assert html.lstrip().startswith("<!DOCTYPE html>")
+    assert "<table" in html and "smoke/touch:linux-4kb@128" in html
+    assert "attribution" in html
+    # self-contained: no external fetches of any kind
+    assert "http://" not in html and "https://" not in html
+
+    baseline = tmp_path / "base.json"
+    rc = main(["report", "regress", str(baseline), "--cache-dir", cache_dir,
+               "--bless", "--note", "test seed"])
+    assert rc == 0
+    assert "blessed" in capsys.readouterr().out
+    rc = main(["report", "regress", str(baseline), "--cache-dir", cache_dir])
+    assert rc == 0
+    assert "OK" in capsys.readouterr().out
+
+    # tighten a blessed metric by 10%: the gate must exit non-zero
+    import json
+
+    doc = json.loads(baseline.read_text())
+    for cell in doc["cells"].values():
+        for name in cell["metrics"]:
+            if name.endswith("avg_fault_us"):
+                cell["metrics"][name] /= 1.10
+    baseline.write_text(json.dumps(doc))
+    rc = main(["report", "regress", str(baseline), "--cache-dir", cache_dir])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_report_regress_missing_baseline(tmp_path, capsys):
+    rc = main(["report", "regress", str(tmp_path / "none.json"),
+               "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_report_html_empty_cache(tmp_path, capsys):
+    html_path = tmp_path / "report.html"
+    rc = main(["report", "html", "--cache-dir", str(tmp_path / "void"),
+               "--out", str(html_path)])
+    assert rc == 0
+    assert "no cached" in html_path.read_text().lower()

@@ -117,7 +117,60 @@ def test_cells_jsonl_and_csv():
     assert cells_to_jsonl([]) == ""
 
     csv_text = cells_to_csv(records)
-    rows = csv_text.splitlines()
-    assert rows[0].startswith("cell_id,experiment,case,policy")
-    assert '"{""faults"": 8}"' in rows[1]  # nested result as a JSON column
-    assert "boom" in rows[2]
+    rows = list(csv.DictReader(io.StringIO(csv_text)))
+    header = csv_text.splitlines()[0].split(",")
+    # stable layout: identity columns first (cell_id leading), then one
+    # labeled column per flattened result metric, sorted by name.
+    assert header[:4] == ["cell_id", "experiment", "case", "policy"]
+    metric_columns = [c for c in header if c.startswith("result.")]
+    assert metric_columns == sorted(metric_columns)
+    assert "result.faults" in header
+    assert rows[0]["result.faults"] == "8.0"
+    assert rows[1]["result.faults"] == ""  # failed cell: padded, not ragged
+    assert rows[1]["error"] == "boom"
+
+
+def test_cells_csv_flattens_nested_and_sorts_metric_union():
+    from repro.metrics.export import cells_to_csv
+
+    records = [
+        {"cell_id": "a", "status": "ok",
+         "result": {"times_s": {"zip": 2.0}, "rss_series": [1, 2, 3]}},
+        {"cell_id": "b", "status": "ok", "result": {"faults": 4}},
+    ]
+    header = cells_to_csv(records).splitlines()[0].split(",")
+    metric_columns = [c for c in header if c.startswith("result.")]
+    # union across records, nested keys dotted, lists as .len counts
+    assert metric_columns == ["result.faults", "result.rss_series.len",
+                              "result.times_s.zip"]
+
+
+def test_trace_to_chrome():
+    from repro.metrics.export import trace_to_chrome
+
+    events = [
+        TraceEvent(10.0, TraceKind.FAULT_BASE, "redis", 4.25, 42),
+        TraceEvent(20.0, TraceKind.PROMOTE_COLLAPSE, "redis", 30.0, 7),
+        TraceEvent(25.0, TraceKind.BLOAT_SCAN, "kernel", 0.0, None, "n=3"),
+    ]
+    doc = json.loads(trace_to_chrome(events))
+    assert doc["displayTimeUnit"] == "ms"
+    records = doc["traceEvents"]
+    meta = [r for r in records if r["ph"] == "M"]
+    # one process_name per process, one thread_name per (process, subsystem)
+    names = {(r["name"], r["args"]["name"]) for r in meta}
+    assert ("process_name", "redis") in names
+    assert ("process_name", "kernel") in names
+    assert ("thread_name", "fault") in names
+    assert ("thread_name", "promote") in names
+    assert ("thread_name", "bloat") in names
+    slices = [r for r in records if r["ph"] == "X"]
+    assert len(slices) == 2
+    fault = next(r for r in slices if r["name"] == "fault.base")
+    assert fault["ts"] == 10.0 and fault["dur"] == 4.25
+    assert fault["args"]["page"] == 42
+    instants = [r for r in records if r["ph"] == "i"]
+    assert len(instants) == 1 and instants[0]["s"] == "t"
+    # distinct processes get distinct pids; subsystems get stable tids
+    pids = {r["pid"] for r in records if r["ph"] != "M"}
+    assert len(pids) == 2

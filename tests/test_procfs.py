@@ -64,6 +64,7 @@ VMSTAT_KEYS = {
     "thp_promote_inplace", "thp_split", "pages_prezeroed",
     "bloat_pages_recovered", "compact_pages_moved", "ksm_pages_merged",
     "pgreclaim_file", "oom_kill", "pswpout", "pswpin",
+    "trace_attached", "trace_events", "trace_dropped",
 }
 
 SMAPS_KEYS = {

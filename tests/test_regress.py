@@ -1,0 +1,192 @@
+"""Tests for the baseline regression gate.
+
+Covers the classifier bands (pass/warn/fail), structural statuses
+(missing cell, new cell, vanished metric), baseline bless/save/load,
+and — the proof the gate actually gates — a real sweep cache whose
+telemetry is deliberately perturbed by a 10 % fault-latency slowdown
+and must FAIL against the blessed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.report.regress import (
+    BaselineError,
+    bless,
+    compare,
+    compare_metrics,
+    format_report,
+    load_baseline,
+    save_baseline,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.registry import Cell
+from repro.runner.scheduler import run_sweep
+
+
+# --------------------------------------------------------------------- #
+# classifier                                                             #
+# --------------------------------------------------------------------- #
+
+
+def _by_name(deltas):
+    return {d.name: d for d in deltas}
+
+
+def test_compare_metrics_bands():
+    base = {"flat": 100.0, "drift": 100.0, "broken": 100.0}
+    cur = {"flat": 100.5, "drift": 103.0, "broken": 120.0}
+    deltas = _by_name(compare_metrics(base, cur, warn=0.01, fail=0.05))
+    assert deltas["flat"].status == "pass"
+    assert deltas["drift"].status == "warn"
+    assert deltas["broken"].status == "fail"
+    assert deltas["broken"].rel == pytest.approx(0.20)
+
+
+def test_compare_metrics_symmetric():
+    # an unexplained improvement is still an unexplained change
+    deltas = _by_name(compare_metrics({"t": 100.0}, {"t": 80.0},
+                                      warn=0.01, fail=0.05))
+    assert deltas["t"].status == "fail"
+    assert deltas["t"].rel == pytest.approx(-0.20)
+
+
+def test_compare_metrics_appear_vanish_and_zero():
+    deltas = _by_name(compare_metrics(
+        {"gone": 5.0, "zero_ok": 0.0, "zero_bad": 0.0},
+        {"new": 7.0, "zero_ok": 0.0, "zero_bad": 3.0},
+        warn=0.01, fail=0.05))
+    assert deltas["gone"].status == "fail"        # metric vanished
+    assert deltas["new"].status == "fail"         # metric appeared
+    assert deltas["zero_ok"].status == "pass"     # 0 -> 0
+    assert deltas["zero_bad"].status == "fail"    # 0 -> nonzero: undefined
+    assert "vanished" in deltas["gone"].describe()
+    assert "new metric" in deltas["new"].describe()
+
+
+# --------------------------------------------------------------------- #
+# whole-cache comparison against a real sweep                            #
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def smoke_cache(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("cache"))
+    run_sweep([Cell("smoke", "touch", "linux-4kb"),
+               Cell("smoke", "touch", "hawkeye-g")], cache=cache)
+    return cache
+
+
+def test_bless_then_compare_is_clean(smoke_cache):
+    baseline = bless(smoke_cache, note="test")
+    assert baseline["version"] == 1
+    assert len(baseline["cells"]) == 2
+    # blessed metrics include telemetry-derived fault latency percentiles
+    metrics = next(iter(baseline["cells"].values()))["metrics"]
+    assert any(k.startswith("telemetry.") and ".hist.fault" in k
+               for k in metrics)
+    report = compare(baseline, smoke_cache)
+    assert report.ok
+    assert {c.status for c in report.cells} == {"pass"}
+    text = format_report(report)
+    assert "OK" in text and "2 pass" in text
+
+
+def test_perturbed_fault_latency_fails_gate(smoke_cache):
+    """The acceptance proof: a 10 % fault-latency slowdown must gate."""
+    baseline = bless(smoke_cache)
+    # simulate the *baseline* having been 10 % faster than the current
+    # tree on every fault-latency metric — i.e. the current run regressed
+    for cell in baseline["cells"].values():
+        for name in cell["metrics"]:
+            if "fault" in name and ("span_us" in name or ".p" in name
+                                    or "avg_fault" in name):
+                cell["metrics"][name] /= 1.10
+    report = compare(baseline, smoke_cache)
+    assert not report.ok
+    assert all(c.status == "fail" for c in report.cells)
+    flagged = [d for c in report.cells for d in c.flagged()
+               if d.status == "fail"]
+    assert flagged
+    assert all(d.rel == pytest.approx(0.10, abs=1e-6) for d in flagged)
+    assert "REGRESSION" in format_report(report)
+
+
+def test_perturbed_cached_telemetry_fails_gate(smoke_cache, tmp_path):
+    """Same proof from the other side: tamper with the cached telemetry."""
+    baseline = bless(smoke_cache)
+    tampered = ResultCache(tmp_path / "tampered")
+    for src in smoke_cache.results_dir.glob("*.json"):
+        envelope = json.loads(src.read_text())
+        for artifact in envelope.get("telemetry") or []:
+            for entry in artifact.get("attribution", {}).values():
+                entry["span_us"] *= 1.10
+        (tampered.results_dir).mkdir(parents=True, exist_ok=True)
+        (tampered.results_dir / src.name).write_text(json.dumps(envelope))
+    report = compare(baseline, tampered)
+    assert not report.ok
+    bad = {d.name for c in report.cells for d in c.flagged()}
+    assert any("span_us" in name for name in bad)
+
+
+def test_missing_and_new_cells(smoke_cache, tmp_path):
+    baseline = bless(smoke_cache)
+    baseline["cells"]["fig9/ghost:linux-4kb@128"] = {"metrics": {"x": 1.0}}
+    report = compare(baseline, smoke_cache)
+    assert not report.ok                      # missing cell gates
+    statuses = {c.cell_id: c.status for c in report.cells}
+    assert statuses["fig9/ghost:linux-4kb@128"] == "missing"
+    assert "MISS" in format_report(report)
+
+    del baseline["cells"]["fig9/ghost:linux-4kb@128"]
+    removed = next(iter(baseline["cells"]))
+    del baseline["cells"][removed]
+    report = compare(baseline, smoke_cache)
+    assert report.ok                          # new cells report but pass
+    assert any(c.status == "new" for c in report.cells)
+
+
+def test_band_overrides_beat_baseline_tolerance(smoke_cache):
+    baseline = bless(smoke_cache, warn=0.5, fail=0.9)
+    for cell in baseline["cells"].values():
+        for name in list(cell["metrics"]):
+            cell["metrics"][name] *= 1.02     # 2% drift everywhere
+    assert compare(baseline, smoke_cache).ok  # inside the loose bands
+    strict = compare(baseline, smoke_cache, warn=0.001, fail=0.01)
+    assert not strict.ok
+
+
+# --------------------------------------------------------------------- #
+# baseline files                                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_save_load_round_trip(smoke_cache, tmp_path):
+    baseline = bless(smoke_cache, note="seed")
+    path = save_baseline(baseline, tmp_path / "base.json")
+    assert load_baseline(path) == baseline
+    # stable formatting: re-saving produces identical bytes
+    first = path.read_bytes()
+    save_baseline(baseline, path)
+    assert path.read_bytes() == first
+
+
+def test_load_baseline_errors(tmp_path):
+    with pytest.raises(BaselineError, match="cannot read"):
+        load_baseline(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(bad)
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    with pytest.raises(BaselineError, match="no 'cells'"):
+        load_baseline(empty)
+
+
+def test_bless_empty_cache_raises(tmp_path):
+    with pytest.raises(BaselineError, match="no cached cells"):
+        bless(ResultCache(tmp_path / "void"))

@@ -1,0 +1,93 @@
+"""Tests for the self-contained HTML report renderer."""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.report.html import LineChart, render_report
+from repro.runner.cache import ResultCache
+
+
+def _fake_envelope(cell_id, experiment, policy, result, telemetry=()):
+    return {
+        "cell_id": cell_id,
+        "cell": {"experiment": experiment, "case": cell_id.split("/")[1].split(":")[0],
+                 "policy": policy, "scale_denominator": 128},
+        "result": result,
+        "telemetry": list(telemetry),
+        "timing": {"finished_at": 1.0, "wall_s": 0.1},
+        "source": "cafe",
+    }
+
+
+def _seed_cache(tmp_path, envelopes):
+    cache = ResultCache(tmp_path / "cache")
+    cache.results_dir.mkdir(parents=True, exist_ok=True)
+    for i, env in enumerate(envelopes):
+        (cache.results_dir / f"k{i}.json").write_text(json.dumps(env))
+    return cache
+
+
+def test_report_renders_fig1_chart_and_tables(tmp_path):
+    telemetry = [{
+        "version": 1, "meta": {}, "scrapes": [],
+        "attribution": {"fault": {"events": 10, "span_us": 42.5}},
+        "histograms": {"fault.base": {"count": 10, "total_us": 42.5,
+                                      "buckets": {"2": 10},
+                                      "p50": 3.0, "p95": 3.9, "p99": 4.0}},
+        "self_profile": {"wall_s": 0.5, "epochs": 100},
+    }]
+    envelopes = [
+        _fake_envelope(
+            "fig1/redis:hawkeye-g@128", "fig1", "hawkeye-g",
+            {"rss_mb": 100.0, "useful_mb": 80.0, "recovered_pages": 7,
+             "rss_series": {"times": [0.0, 1.0, 2.0],
+                            "values": [10.0, 60.0, 100.0]}},
+            telemetry),
+        _fake_envelope(
+            "fig1/redis:linux-2mb@128", "fig1", "linux-2mb",
+            {"rss_mb": 140.0, "useful_mb": 80.0, "recovered_pages": 0,
+             "rss_series": {"times": [0.0, 1.0, 2.0],
+                            "values": [10.0, 90.0, 140.0]}}),
+    ]
+    cache = _seed_cache(tmp_path, envelopes)
+    html = render_report(cache, title="test report")
+    assert html.lstrip().startswith("<!DOCTYPE html>")
+    # the fig1 chart: one polyline per policy, a legend naming both
+    assert html.count("<polyline") == 2
+    assert "hawkeye-g" in html and "linux-2mb" in html
+    # attribution + self-profile tables from the telemetry artifact
+    assert "fault" in html and "42.5" in html
+    # offline by construction: no external URLs, no script src, no links
+    assert "http://" not in html and "https://" not in html
+    assert 'src="' not in html and "@import" not in html
+    # hover layer ships its data inline
+    assert 'type="application/json"' in html
+
+
+def test_report_empty_cache_message(tmp_path):
+    cache = ResultCache(tmp_path / "void")
+    html = render_report(cache)
+    assert "no cached" in html.lower()
+    assert "<svg" not in html
+
+
+def test_line_chart_geometry_stays_in_viewbox():
+    chart = LineChart("t", "x", "y")
+    chart.add_series("a", [(0.0, 0.0), (1.0, 123.4), (2.0, 50.0)])
+    svg = chart.render()
+    width = int(re.search(r'viewBox="0 0 (\d+) (\d+)"', svg).group(1))
+    height = int(re.search(r'viewBox="0 0 (\d+) (\d+)"', svg).group(2))
+    points = re.search(r'points="([^"]+)"', svg).group(1).split()
+    for pair in points:
+        x, y = map(float, pair.split(","))
+        assert 0 <= x <= width and 0 <= y <= height
+
+
+def test_line_chart_skips_empty_series():
+    chart = LineChart("t", "x", "y")
+    chart.add_series("empty", [])
+    chart.add_series("full", [(0.0, 1.0), (1.0, 2.0)])
+    svg = chart.render()
+    assert svg.count("<polyline") == 1

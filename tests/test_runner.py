@@ -265,7 +265,13 @@ def test_as_record_shape(failure_modes_experiment):
 
 
 def _strip_timing(envelope: dict) -> str:
+    """Drop the wall-clock sections (timing block, telemetry self-profiles);
+    everything else — results, scrapes, attribution — must be byte-identical."""
     stripped = {k: v for k, v in envelope.items() if k != "timing"}
+    stripped["telemetry"] = [
+        {k: v for k, v in artifact.items() if k != "self_profile"}
+        for artifact in stripped.get("telemetry", [])
+    ]
     return json.dumps(stripped, indent=2, sort_keys=True)
 
 
