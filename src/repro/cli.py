@@ -9,6 +9,7 @@ Examples::
     python -m repro trace run redis-fig1 --policy hawkeye-g --summary
     python -m repro trace view trace.jsonl --kind fault --summary
     python -m repro top xsbench --interval 30
+    python -m repro numa --policy hawkeye-g --nodes 2
     python -m repro sweep run tab1 tab8 --jobs 4
     python -m repro sweep status
 
@@ -112,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fragment", action="store_true",
                        help="fragment memory before the workload starts")
         p.add_argument("--max-epochs", type=int, default=6000)
+        p.add_argument("--nodes", type=int, default=1,
+                       help="NUMA nodes; memory splits into equal zones "
+                            "(default 1 = UMA)")
+        p.add_argument("--numa-balance", action="store_true",
+                       help="enable the knumad hint-fault balancer "
+                            "(multi-node only)")
 
     run_p = sub.add_parser("run", help="run one workload under one policy")
     run_p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -197,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="only events at or after this simulated second")
     trace_export_p.add_argument("--until", type=float, default=None,
                                 help="only events before this simulated second")
+
+    numa_p = sub.add_parser(
+        "numa", help="race NUMA placement modes for one workload")
+    numa_p.add_argument("--policy", default="hawkeye-g",
+                        choices=sorted(POLICIES))
+    numa_p.add_argument("--nodes", type=int, default=2,
+                        help="NUMA nodes (default 2)")
+    numa_p.add_argument("--scale", type=int, default=64,
+                        help="linear memory scale divisor (default 64)")
+    numa_p.add_argument("--modes", default="local,interleave,balanced,replicated",
+                        help="comma-separated placement modes")
 
     top_p = sub.add_parser(
         "top", help="run a workload printing periodic /proc-style snapshots")
@@ -294,7 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _execute(workload_name: str, policy: str, args, setup=None) -> dict:
     scale = Scale(1.0 / args.scale)
-    kernel = make_kernel(args.mem_gb * GB, policy, scale)
+    kernel = make_kernel(
+        args.mem_gb * GB, policy, scale,
+        numa_nodes=getattr(args, "nodes", 1),
+        numa_balance=getattr(args, "numa_balance", False),
+    )
     if args.fragment:
         fragment(kernel)
     if setup is not None:
@@ -619,6 +641,43 @@ def cmd_trace(args) -> int:
     return _cmd_trace_export(args)
 
 
+def cmd_numa(args) -> int:
+    """`repro numa`: race placement modes on an asymmetric workload.
+
+    Each mode runs the registry's ``numa`` experiment cell (the compute
+    workload homed on node 0), so the table matches `repro sweep run
+    numa` output for the same policy and node count.
+    """
+    from repro.experiments import reset_sim_state
+    from repro.runner.adapters import NUMA_CASES, run_numa
+
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    cases = [f"{mode}-{args.nodes}" for mode in modes]
+    unknown = [c for c in cases if c not in NUMA_CASES]
+    if unknown:
+        print(f"unknown numa cases: {', '.join(unknown)} "
+              f"(have {', '.join(NUMA_CASES)})", file=sys.stderr)
+        return 2
+    scale = Scale(1.0 / args.scale)
+    rows = []
+    for mode, case in zip(modes, cases):
+        reset_sim_state()
+        r = run_numa(case, args.policy, scale)
+        rows.append([
+            mode, round(r["time_s"], 1),
+            f"{r['remote_walk_share'] * 100:.1f}%",
+            r["hint_faults"], r["pages_migrated"], r["huge_migrated"],
+            r["pt_replica_pages"], r["promotions"],
+        ])
+    print(format_table(
+        ["mode", "time s", "remote walk", "hint flt", "pg migr",
+         "huge migr", "pt replica pg", "promotions"],
+        rows,
+        title=f"{args.policy} across {args.nodes} nodes (1/{args.scale} scale)",
+    ))
+    return 0
+
+
 #: columns of the `repro top` display, in print order.  ``trdrop/s`` is
 #: the tracer ring-buffer drop rate — "-" with no tracer attached, 0
 #: for a lossless trace, nonzero when the recorded trace is lossy.
@@ -635,9 +694,17 @@ def cmd_top(args) -> int:
     *rates* over the interval — like watching ``vmstat <interval>`` on
     the machine while the experiment runs.
     """
-    widths = [max(8, len(c)) for c in TOP_COLUMNS]
-    print("  ".join(c.rjust(w) for c, w in zip(TOP_COLUMNS, widths)))
-    state = {"last_t": 0.0, "last_vmstat": None}
+    columns = list(TOP_COLUMNS)
+    nodes = getattr(args, "nodes", 1)
+    if nodes > 1:
+        # per-node placement columns, fed by procfs.numastat; single-node
+        # output stays byte-identical (no extra columns, no numastat call).
+        for n in range(nodes):
+            columns += [f"n{n}_free", f"n{n}_alloc"]
+        columns.append("numamig/s")
+    widths = [max(8, len(c)) for c in columns]
+    print("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    state = {"last_t": 0.0, "last_vmstat": None, "last_numastat": None}
 
     def snapshot(kernel):
         t_s = kernel.now_us / SEC
@@ -663,6 +730,21 @@ def cmd_top(args) -> int:
             f"{rates['pswpout'] + rates['pswpin']:.1f}",
             "-" if not vm["trace_attached"] else f"{rates['trace_dropped']:.0f}",
         ]
+        if nodes > 1:
+            ns = procfs.numastat(kernel)
+            prev_ns = state["last_numastat"]
+            for n in range(nodes):
+                # pages -> MB at 4 KiB pages: 256 pages per MB.
+                row.append(f"{ns[f'node{n}_free_pages'] // 256}")
+                row.append(f"{ns[f'node{n}_allocated_pages'] // 256}")
+            migrated = ns["numa_pages_migrated"] + 512 * ns["numa_huge_migrated"]
+            if prev_ns is None or dt <= 0:
+                row.append("0")
+            else:
+                prev_migrated = (prev_ns["numa_pages_migrated"]
+                                 + 512 * prev_ns["numa_huge_migrated"])
+                row.append(f"{(migrated - prev_migrated) / dt:.0f}")
+            state["last_numastat"] = ns
         print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
         state["last_t"] = t_s
         state["last_vmstat"] = vm
@@ -884,6 +966,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "numa":
+        return cmd_numa(args)
     if args.command == "top":
         return cmd_top(args)
     if args.command == "sweep":

@@ -137,9 +137,17 @@ class HawkEyePolicy(HugePagePolicy):
         self.engine.run_epoch()
         self.bloat.run_epoch()
 
+    #: access-coverage discount for regions resident off the owner's home
+    #: node: a remote promotion saves less than a local one (the walk it
+    #: eliminates was cheap relative to the remote accesses that remain),
+    #: and knumad may be about to move — and demote — the region anyway.
+    NUMA_REMOTE_COVERAGE_PENALTY = 0.5
+
     def on_sample(self, proc: Process) -> None:
         """Fresh access-bit sample: rebuild the process's access_map entries."""
         amap = self.access_maps.setdefault(proc.pid, AccessMap())
+        numa = self.kernel.numa
+        cross_node = numa is not None and not numa.replicated_pt
         for hvpn, region in proc.regions.items():
             if region.is_huge or region.resident == 0:
                 amap.remove(hvpn)
@@ -148,7 +156,11 @@ class HawkEyePolicy(HugePagePolicy):
                 # The region is in use again: it may be re-promoted once
                 # memory pressure subsides.
                 region.bloat_demoted = False
-            amap.update(hvpn, region.coverage_ema)
+            coverage = region.coverage_ema
+            if cross_node and numa.region_node(proc, hvpn) not in (
+                    None, proc.home_node):
+                coverage *= self.NUMA_REMOTE_COVERAGE_PENALTY
+            amap.update(hvpn, coverage)
 
     # ------------------------------------------------------------------ #
     # memory pressure                                                     #

@@ -36,6 +36,9 @@ PREZERO_PAGES_PER_SEC = 100_000.0
 BLOAT_SCAN_PAGES_PER_SEC = 100_000.0
 KCOMPACTD_PAGES_PER_SEC = 20_000.0
 KSM_PAGES_PER_SEC = 50_000.0
+#: knumad cross-node migration budget (matches Linux's default NUMA
+#: balancing scan rate of ~256 MB/s of address space considered).
+KNUMAD_PAGES_PER_SEC = 50_000.0
 
 
 @dataclass(frozen=True)
@@ -159,15 +162,24 @@ def make_kernel(
     boot_zeroed: bool = True,
     swap_bytes_full: float = 0,
     epoch_us: float = SEC,
+    numa_nodes: int = 1,
+    numa_balance: bool = False,
+    replicated_pt: bool = False,
+    tlb=None,
 ) -> Kernel:
     """Build a kernel for a full-scale memory size under ``policy``.
 
     ``epoch_us`` may be coarsened (e.g. 2 s) for long experiments; the
     access-bit sampling cadence stays at the paper's 30 simulated
-    seconds regardless.
+    seconds regardless.  ``numa_nodes`` splits memory into equal NUMA
+    zones; ``numa_balance`` turns on the knumad hint-fault balancer and
+    ``replicated_pt`` the Mitosis-style per-node page-table replicas.
     """
     if policy not in POLICIES:
         raise KeyError(f"unknown policy {policy!r}; have {sorted(POLICIES)}")
+    from repro.numa.topology import NumaTopology
+    from repro.tlb.tlb import TLBConfig
+
     config = KernelConfig(
         mem_bytes=scale.bytes(mem_bytes_full),
         epoch_us=epoch_us,
@@ -175,6 +187,10 @@ def make_kernel(
         kcompactd_pages_per_sec=scale.rate(KCOMPACTD_PAGES_PER_SEC) if kcompactd else 0.0,
         boot_zeroed=boot_zeroed,
         swap_bytes=scale.bytes(swap_bytes_full),
+        topology=NumaTopology(nodes=numa_nodes),
+        knumad_pages_per_sec=scale.rate(KNUMAD_PAGES_PER_SEC) if numa_balance else 0.0,
+        replicated_page_tables=replicated_pt,
+        tlb=tlb if tlb is not None else TLBConfig(),
     )
     return Kernel(config, POLICIES[policy](scale))
 

@@ -46,6 +46,13 @@ class CostModel:
     ksm_compare_us: float = 1.0
     #: 4 KiB transfer to/from the SSD-backed swap partition.
     swap_page_us: float = 100.0
+    #: taking one NUMA hint fault (minor fault, no allocation): the
+    #: fault-path fixed cost without any zeroing.
+    numa_hint_fault_us: float = 2.65
+    #: migrating one base page across nodes: copy plus the remote-write
+    #: half of the transfer (~2x a local copy, matching move_pages()
+    #: microbenchmarks relative to a local memcpy).
+    numa_migrate_page_us: float = 1.8
 
     def base_fault(self, needs_zeroing: bool) -> float:
         """Latency of one 4 KiB anonymous fault."""

@@ -73,9 +73,22 @@ def handle_fault(kernel: "Kernel", proc: Process, vpn: int, vma: VMA | None = No
     return _base_fault(kernel, proc, vma, vpn, region, anon)
 
 
+def _numa_target(kernel: "Kernel", proc: Process, vma: VMA | None,
+                 hvpn: int) -> tuple[int | None, bool]:
+    """``(node, strict)`` for a fault, or ``(None, False)`` on single node."""
+    if kernel.numa is None:
+        return None, False
+    return kernel.numa.fault_node(proc, vma, hvpn)
+
+
 def _try_huge_fault(kernel: "Kernel", proc: Process, vma: VMA, hvpn: int, anon: bool) -> float | None:
     """Map a whole huge page at fault time; None when no block is available."""
-    got = kernel.buddy.try_alloc(order=9, prefer_zero=anon, owner=proc.pid)
+    node, strict = _numa_target(kernel, proc, vma, hvpn)
+    if node is None:
+        got = kernel.buddy.try_alloc(order=9, prefer_zero=anon, owner=proc.pid)
+    else:
+        got = kernel.buddy.try_alloc(order=9, prefer_zero=anon, owner=proc.pid,
+                                     node=node, strict=strict)
     if got is None:
         return None
     frame, zeroed = got
@@ -112,7 +125,9 @@ def _base_fault(
     if frame is not None:
         zeroed = kernel.frames.is_zero(frame)
     else:
-        frame, zeroed = kernel.alloc_base_frame(prefer_zero=anon, owner=proc.pid)
+        node, strict = _numa_target(kernel, proc, vma, vpn >> 9)
+        frame, zeroed = kernel.alloc_base_frame(prefer_zero=anon, owner=proc.pid,
+                                                node=node, strict=strict)
         backing_us = kernel.notify_alloc(frame, 1)
     swapped_in = kernel.swap is not None and kernel.swap.is_swapped(proc.pid, vpn)
     if swapped_in:
@@ -308,9 +323,13 @@ def _bulk_base_fault(
     kstats = kernel.stats
     total = 0.0
     done = 0
+    # Bulk runs never cross a huge-region boundary, so one placement
+    # decision covers the whole run (interleave keys on the region).
+    node, strict = _numa_target(kernel, proc, vma, vpn0 >> 9)
     while done < npages and total < budget_us:
         start, count, zeroed = kernel.alloc_base_run_extent(
-            npages - done, prefer_zero=anon, owner=proc.pid
+            npages - done, prefer_zero=anon, owner=proc.pid,
+            node=node, strict=strict,
         )
         needs_zero = anon and (not zeroed or not trusts)
         per_page = costs.base_fault(needs_zero)
@@ -388,7 +407,9 @@ def _cow_break_shared(kernel: "Kernel", proc: Process, vpn: int) -> float:
     """Write to a ksm-merged mapping: copy the content back out."""
     pte = proc.page_table.base[vpn]
     canonical = pte.frame
-    frame, _ = kernel.alloc_base_frame(prefer_zero=False, owner=proc.pid)
+    node, strict = _numa_target(kernel, proc, proc.vmas.try_find(vpn), vpn >> 9)
+    frame, _ = kernel.alloc_base_frame(prefer_zero=False, owner=proc.pid,
+                                       node=node, strict=strict)
     kernel.frames.first_nonzero[frame] = kernel.frames.first_nonzero[canonical]
     kernel.frames.content_tag[frame] = kernel.frames.content_tag[canonical]
     kernel.cow_registry.unshare(canonical)
@@ -412,7 +433,9 @@ def _cow_break_shared(kernel: "Kernel", proc: Process, vpn: int) -> float:
 def _cow_break(kernel: "Kernel", proc: Process, vpn: int) -> float:
     """Write to a shared-zero mapping: allocate a private copy."""
     pte = proc.page_table.base[vpn]
-    frame, zeroed = kernel.alloc_base_frame(prefer_zero=True, owner=proc.pid)
+    node, strict = _numa_target(kernel, proc, proc.vmas.try_find(vpn), vpn >> 9)
+    frame, zeroed = kernel.alloc_base_frame(prefer_zero=True, owner=proc.pid,
+                                            node=node, strict=strict)
     if not zeroed:
         kernel.frames.zero_fill(frame, 1)
     pte.frame = frame

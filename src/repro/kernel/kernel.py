@@ -43,6 +43,7 @@ from repro.mem.compaction import Compactor
 from repro.mem.fragmentation import Fragmenter, fmfi
 from repro.mem.frames import FrameTable
 from repro.mem.zeropage import ZeroPageRegistry
+from repro.numa.topology import NumaTopology
 from repro.tlb.mmu_model import MMUModel
 from repro.tlb.perf import PMUCounters
 from repro.tlb.tlb import TLBConfig
@@ -81,6 +82,15 @@ class KernelConfig:
     boot_zeroed: bool = True
     #: SSD-backed swap partition size; 0 = no swap (OOM on exhaustion).
     swap_bytes: int = 0
+    #: NUMA topology; the default single node keeps every fast path and
+    #: produces bit-identical results to a build without the subsystem.
+    topology: NumaTopology = field(default_factory=NumaTopology)
+    #: knumad balancing-kthread migration rate; 0 disables balancing
+    #: (hint faults and migrations) even on multi-node topologies.
+    knumad_pages_per_sec: float = 0.0
+    #: Mitosis-style per-node page-table replicas: page walks always hit
+    #: local memory, at a per-node memory cost reported in numastat.
+    replicated_page_tables: bool = False
 
     def __post_init__(self) -> None:
         from repro.errors import ConfigError
@@ -99,6 +109,11 @@ class KernelConfig:
             raise ConfigError(f"ema_alpha must be in (0, 1], got {self.ema_alpha}")
         if self.swap_bytes < 0:
             raise ConfigError(f"swap_bytes must be non-negative, got {self.swap_bytes}")
+        self.topology.validate(pages_of(self.mem_bytes))
+        if self.knumad_pages_per_sec < 0:
+            raise ConfigError(
+                f"knumad_pages_per_sec must be non-negative, got {self.knumad_pages_per_sec}"
+            )
 
 
 class Kernel:
@@ -110,9 +125,21 @@ class Kernel:
         self.frames = FrameTable(pages_of(config.mem_bytes))
         if not config.boot_zeroed:
             self.frames.first_nonzero[:] = 0
-        self.buddy = BuddyAllocator(self.frames)
+        #: NUMA state; stays None on single-node topologies so every
+        #: fault/walk-path guard short-circuits and results stay
+        #: bit-identical to a kernel without the subsystem.
+        self.numa = None
+        if config.topology.nodes > 1:
+            from repro.numa.allocator import NodeAllocator, NodeCompactor
+            from repro.numa.balance import NumaState
+
+            self.buddy = NodeAllocator(self.frames, config.topology)
+            self.compactor = NodeCompactor(self.buddy, self._migrate_frame)
+            self.numa = NumaState(self)
+        else:
+            self.buddy = BuddyAllocator(self.frames)
+            self.compactor = Compactor(self.buddy, self._migrate_frame)
         self.fragmenter = Fragmenter(self.buddy)
-        self.compactor = Compactor(self.buddy, self._migrate_frame)
         self.mmu = MMUModel(config.tlb)
         self.stats = KernelStats()
         #: tracepoint sink; attach with :func:`repro.trace.attach`.  Every
@@ -167,12 +194,29 @@ class Kernel:
     # process / workload management                                       #
     # ------------------------------------------------------------------ #
 
-    def spawn(self, workload: "Workload", name: str | None = None) -> "WorkloadRun":
-        """Create a process running ``workload``; returns its run handle."""
+    def spawn(
+        self,
+        workload: "Workload",
+        name: str | None = None,
+        node: int | None = None,
+        mempolicy=None,
+    ) -> "WorkloadRun":
+        """Create a process running ``workload``; returns its run handle.
+
+        ``node`` pins the process's home node (where its threads run and
+        first-touch allocations land); the default round-robins launches
+        across nodes like a gang scheduler.  ``mempolicy`` installs a
+        process-wide :class:`repro.numa.mempolicy.MemPolicy`.
+        """
         from repro.workloads.base import WorkloadRun
 
         proc = Process(name or workload.name)
         proc.launch_index = len(self.processes)
+        if node is not None:
+            proc.home_node = node
+        elif self.numa is not None:
+            proc.home_node = proc.launch_index % self.numa.nodes
+        proc.mempolicy = mempolicy
         self.processes.append(proc)
         self.pmu[proc.pid] = PMUCounters()
         run = WorkloadRun(self, proc, workload)
@@ -239,6 +283,14 @@ class Kernel:
             if vma.name == name:
                 return vma
         raise InvalidAddressError(f"process {proc.name} has no VMA named {name!r}")
+
+    def set_mempolicy(self, proc: Process, policy) -> None:
+        """set_mempolicy(2): install a process-wide NUMA placement policy."""
+        proc.mempolicy = policy
+
+    def mbind(self, proc: Process, name: str, policy) -> None:
+        """mbind(2): install a NUMA placement policy on one named VMA."""
+        self.find_vma(proc, name).mempolicy = policy
 
     # ------------------------------------------------------------------ #
     # faulting and unmapping                                              #
@@ -380,15 +432,29 @@ class Kernel:
             return 0.0
         return self.frame_alloc_hook(start, count)
 
-    def alloc_base_frame(self, prefer_zero: bool, owner: int) -> tuple[int, bool]:
-        """Allocate one frame; reclaims, swaps and asks the policy under pressure."""
+    def alloc_base_frame(
+        self, prefer_zero: bool, owner: int,
+        node: int | None = None, strict: bool = False,
+    ) -> tuple[int, bool]:
+        """Allocate one frame; reclaims, swaps and asks the policy under pressure.
+
+        ``node`` requests placement (with distance-ordered fallback unless
+        ``strict``); None keeps the single-allocator call shape untouched.
+        """
         while True:
-            got = self.buddy.try_alloc(0, prefer_zero, owner)
+            if node is None:
+                got = self.buddy.try_alloc(0, prefer_zero, owner)
+            else:
+                got = self.buddy.try_alloc(0, prefer_zero, owner,
+                                           node=node, strict=strict)
             if got is not None:
                 return got
             self._relieve_pressure_or_oom()
 
-    def alloc_base_run_extent(self, max_pages: int, prefer_zero: bool, owner: int) -> tuple[int, int, bool]:
+    def alloc_base_run_extent(
+        self, max_pages: int, prefer_zero: bool, owner: int,
+        node: int | None = None, strict: bool = False,
+    ) -> tuple[int, int, bool]:
         """Bulk-allocate one ``(start, count, zeroed)`` extent of base frames.
 
         Same pressure fallback as :meth:`alloc_base_frame` — the scalar
@@ -397,7 +463,11 @@ class Kernel:
         (every free list empty).
         """
         while True:
-            got = self.buddy.try_alloc_run_extent(max_pages, prefer_zero, owner)
+            if node is None:
+                got = self.buddy.try_alloc_run_extent(max_pages, prefer_zero, owner)
+            else:
+                got = self.buddy.try_alloc_run_extent(
+                    max_pages, prefer_zero, owner, node=node, strict=strict)
             if got is not None:
                 return got
             self._relieve_pressure_or_oom()
@@ -422,9 +492,16 @@ class Kernel:
                 f"({self.buddy.allocated_pages}/{self.buddy.total_pages} pages allocated)"
             )
 
-    def alloc_huge_block(self, prefer_zero: bool, owner: int, compact: bool = True) -> tuple[int, bool] | None:
+    def alloc_huge_block(
+        self, prefer_zero: bool, owner: int, compact: bool = True,
+        node: int | None = None, strict: bool = False,
+    ) -> tuple[int, bool] | None:
         """Allocate an order-9 block, compacting once if necessary."""
-        got = self.buddy.try_alloc(9, prefer_zero, owner)
+        if node is None:
+            got = self.buddy.try_alloc(9, prefer_zero, owner)
+        else:
+            got = self.buddy.try_alloc(9, prefer_zero, owner,
+                                       node=node, strict=strict)
         if got is None and compact:
             run = self.compactor.run(self.config.compact_budget_pages)
             self.stats.compaction_pages_moved += run.pages_moved
@@ -434,7 +511,11 @@ class Kernel:
                 tp.emit(trace.TraceKind.COMPACT, "direct",
                         run.pages_moved * self.costs.copy_base_us,
                         detail=f"pages_moved={run.pages_moved}")
-            got = self.buddy.try_alloc(9, prefer_zero, owner)
+            if node is None:
+                got = self.buddy.try_alloc(9, prefer_zero, owner)
+            else:
+                got = self.buddy.try_alloc(9, prefer_zero, owner,
+                                           node=node, strict=strict)
         if got is not None:
             self.stats.khugepaged_cpu_us += self.notify_alloc(got[0], PAGES_PER_HUGE)
         return got
@@ -517,7 +598,13 @@ class Kernel:
             cost = self.costs.remap_us
             collapsed = False
         else:
-            got = self.alloc_huge_block(prefer_zero=False, owner=proc.pid)
+            # NUMA-aware collapse: allocate the destination block on the
+            # node already holding most of the region's pages, so a
+            # promotion never turns local accesses into remote ones.
+            target = (self.numa.majority_node(proc, hvpn)
+                      if self.numa is not None else None)
+            got = self.alloc_huge_block(prefer_zero=False, owner=proc.pid,
+                                        node=target)
             if got is None:
                 return None
             block = got[0]
@@ -648,6 +735,8 @@ class Kernel:
             run.step(self.config.epoch_us)
         self.policy.on_epoch()
         self._run_kcompactd()
+        if self.numa is not None:
+            self.numa.on_epoch()
         self.stats.epochs += 1
         self.now_us += self.config.epoch_us
         if self.stats.epochs % self.config.sample_period == 0:
@@ -715,3 +804,5 @@ class Kernel:
                         scanned * self.costs.sample_region_us,
                         detail=f"proc={proc.name} regions={scanned}")
             self.policy.on_sample(proc)
+            if self.numa is not None:
+                self.numa.on_sample(proc)

@@ -68,6 +68,75 @@ def vmstat(kernel: "Kernel") -> dict[str, float]:
     }
 
 
+def numastat(kernel: "Kernel") -> dict[str, int]:
+    """A /sys/devices/system/node + /proc/vmstat NUMA counter snapshot.
+
+    Meaningful (non-trivial) on multi-node kernels but defined for every
+    kernel, so callers need no topology check: a single-node machine
+    reports one node holding everything with zero cross-node traffic.
+    It is a *separate* view — the frozen ``vmstat`` key set is untouched.
+    """
+    s = kernel.stats
+    out: dict[str, int] = {"numa_nodes": kernel.config.topology.nodes}
+    numa = kernel.numa
+    if numa is None:
+        # One zone holding everything; allocation-placement counters are
+        # only tracked by the multi-node allocator, so they read 0.
+        buddy = kernel.buddy
+        zones = [(0, buddy.total_pages)]
+        per_zone = [buddy]
+        hit = miss = foreign = [0]
+    else:
+        zones = numa.allocator.node_map.ranges
+        per_zone = numa.allocator.zones
+        hit = numa.allocator.numa_hit
+        miss = numa.allocator.numa_miss
+        foreign = numa.allocator.numa_foreign
+    for node, ((start, end), zone) in enumerate(zip(zones, per_zone)):
+        out[f"node{node}_total_pages"] = end - start
+        out[f"node{node}_free_pages"] = zone.free_pages
+        out[f"node{node}_allocated_pages"] = zone.allocated_pages
+        out[f"node{node}_numa_hit"] = hit[node]
+        out[f"node{node}_numa_miss"] = miss[node]
+        out[f"node{node}_numa_foreign"] = foreign[node]
+    out["numa_hint_faults"] = s.numa_hint_faults
+    out["numa_pages_migrated"] = s.numa_pages_migrated
+    out["numa_huge_migrated"] = s.numa_huge_migrated
+    out["numa_split_migrations"] = s.numa_split_migrations
+    out["numa_pt_replica_pages"] = (
+        numa.replica_overhead_pages() if numa is not None else 0
+    )
+    return out
+
+
+def numa_maps(kernel: "Kernel", proc: "Process") -> list[dict[str, object]]:
+    """Per-VMA NUMA placement, one row per mapping (/proc/pid/numa_maps)."""
+    numa = kernel.numa
+    nodes = numa.nodes if numa is not None else 1
+    rows = []
+    for vma in proc.vmas:
+        counts = [0] * nodes
+        for hvpn in range(vma.start >> 9, ((vma.end - 1) >> 9) + 1):
+            if numa is not None:
+                region = numa.region_node_counts(proc, hvpn)
+                for node in range(nodes):
+                    counts[node] += region[node]
+            else:
+                region = proc.regions.get(hvpn)
+                if region is not None:
+                    counts[0] += region.resident
+        policy = vma.mempolicy if vma.mempolicy is not None else proc.mempolicy
+        row: dict[str, object] = {
+            "name": vma.name,
+            "start_page": vma.start,
+            "policy": policy.kind.value if policy is not None else "default",
+        }
+        for node in range(nodes):
+            row[f"node{node}_pages"] = counts[node]
+        rows.append(row)
+    return rows
+
+
 def smaps(kernel: "Kernel", proc: "Process") -> list[dict[str, object]]:
     """Per-VMA summary, one row per mapping (a compact /proc/pid/smaps)."""
     rows = []

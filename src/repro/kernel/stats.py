@@ -32,6 +32,16 @@ class KernelStats:
     sampler_cpu_us: float = 0.0
     ksm_merged_pages: int = 0
     oom_kills: int = 0
+    #: NUMA balancing: hint faults installed/taken by knumad's scanner.
+    numa_hint_faults: int = 0
+    #: base pages migrated across nodes by knumad (huge = 512 pages).
+    numa_pages_migrated: int = 0
+    #: whole huge regions migrated without splitting.
+    numa_huge_migrated: int = 0
+    #: huge regions split (demoted) because the target node had no
+    #: contiguous order-9 block free (demote-on-split-migration).
+    numa_split_migrations: int = 0
+    knumad_cpu_us: float = 0.0
     #: promotions per process name, for fairness analysis.
     promotions_by_process: dict[str, int] = field(default_factory=dict)
 

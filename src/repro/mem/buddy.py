@@ -30,11 +30,26 @@ from repro.units import MAX_ORDER
 
 
 class BuddyAllocator:
-    """Buddy allocator over the frames of a :class:`FrameTable`."""
+    """Buddy allocator over the frames of a :class:`FrameTable`.
 
-    def __init__(self, frames: FrameTable, max_order: int = MAX_ORDER):
+    By default the allocator manages the whole frame table; a NUMA zone
+    passes an explicit ``[start, end)`` sub-range so several allocators
+    can share one table without overlapping.  Coalescing is naturally
+    confined to the zone: a buddy outside ``[start, end)`` is never in
+    this allocator's ``_block_order``, so merges cannot cross zones.
+    """
+
+    def __init__(
+        self,
+        frames: FrameTable,
+        max_order: int = MAX_ORDER,
+        start: int = 0,
+        end: int | None = None,
+    ):
         self.frames = frames
         self.max_order = max_order
+        self.start = start
+        self.end = frames.num_frames if end is None else end
         # Free lists are dicts used as ordered sets: O(1) membership,
         # O(1) removal by key, and O(1) amortised pop via popitem()
         # (plain sets degrade to O(n) scans under churn).
@@ -46,8 +61,8 @@ class BuddyAllocator:
         self._seed_free_lists()
 
     def _seed_free_lists(self) -> None:
-        """Carve the whole frame range into maximal aligned free blocks."""
-        start, end = 0, self.frames.num_frames
+        """Carve the managed frame range into maximal aligned free blocks."""
+        start, end = self.start, self.end
         while start < end:
             order = self.max_order
             while order > 0 and (start % (1 << order) != 0 or start + (1 << order) > end):
@@ -310,7 +325,7 @@ class BuddyAllocator:
 
     @property
     def total_pages(self) -> int:
-        return self.frames.num_frames
+        return self.end - self.start
 
     @property
     def allocated_pages(self) -> int:

@@ -42,11 +42,18 @@ class CompactionStats:
 
 @dataclass
 class Compactor:
-    """Budgeted compaction over a buddy allocator."""
+    """Budgeted compaction over a buddy allocator.
+
+    ``lo``/``hi`` bound the frame range scanned for candidate chunks; a
+    NUMA zone passes its own range so compaction never migrates pages
+    across a node boundary.  The defaults cover the whole frame table.
+    """
 
     buddy: BuddyAllocator
     migrate: MigrateFn
     stats: CompactionStats = field(default_factory=CompactionStats)
+    lo: int = 0
+    hi: int | None = None
 
     def _candidate_chunks(self) -> list[tuple[int, int]]:
         """Huge-aligned chunks sorted by occupancy (emptiest first).
@@ -56,13 +63,20 @@ class Compactor:
         under half the chunk).
         """
         frames = self.buddy.frames
-        nchunks = frames.num_frames // PAGES_PER_HUGE
-        alloc = frames.allocated[: nchunks * PAGES_PER_HUGE].reshape(nchunks, PAGES_PER_HUGE)
-        pinned = frames.pinned[: nchunks * PAGES_PER_HUGE].reshape(nchunks, PAGES_PER_HUGE)
+        hi = frames.num_frames if self.hi is None else self.hi
+        first = -(-self.lo // PAGES_PER_HUGE)       # first whole chunk
+        last = hi // PAGES_PER_HUGE                  # one past the last
+        nchunks = last - first
+        if nchunks <= 0:
+            return []
+        window = slice(first * PAGES_PER_HUGE, last * PAGES_PER_HUGE)
+        alloc = frames.allocated[window].reshape(nchunks, PAGES_PER_HUGE)
+        pinned = frames.pinned[window].reshape(nchunks, PAGES_PER_HUGE)
         occupancy = alloc.sum(axis=1)
         ok = (occupancy > 0) & (occupancy <= PAGES_PER_HUGE // 2) & ~pinned.any(axis=1)
         order = np.argsort(occupancy, kind="stable")
-        return [(int(c) * PAGES_PER_HUGE, int(occupancy[c])) for c in order if ok[c]]
+        return [((first + int(c)) * PAGES_PER_HUGE, int(occupancy[c]))
+                for c in order if ok[c]]
 
     def run(self, budget_pages: int) -> CompactionStats:
         """Migrate up to ``budget_pages`` frames; returns stats for this run."""

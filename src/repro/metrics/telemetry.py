@@ -165,6 +165,20 @@ class TelemetrySampler:
         self._trace_span = r.counter(
             "trace_span_us_total", "traced simulated-time span per subsystem",
             labelnames=("subsystem",))
+        # NUMA families exist only on multi-node kernels: a declared-but
+        # -childless family still scrapes as an empty dict, which would
+        # change single-node scrape bytes against the committed baseline.
+        self._numa_gauges = self._numa_counters = self._numa_remote = None
+        if kernel.numa is not None:
+            self._numa_gauges = r.gauge(
+                "numastat_pages", "per-node page gauges (numastat analogue)",
+                labelnames=("name",))
+            self._numa_counters = r.counter(
+                "numastat", "cumulative NUMA placement/migration counters",
+                labelnames=("name",))
+            self._numa_remote = r.gauge(
+                "numa_remote_walk_share",
+                "share of all page-walk cycles hitting remote-node memory")
         # wall-clock self-profile state
         self._wall_origin = time.perf_counter()
         self._last_wall = self._wall_origin
@@ -210,6 +224,13 @@ class TelemetrySampler:
             pmu = kernel.pmu.get(proc.pid)
             if pmu is not None:
                 self._proc_mmu.labels(process=proc.name).set(pmu.read_overhead())
+        if self._numa_gauges is not None:
+            for name, value in procfs.numastat(kernel).items():
+                if name.endswith("_pages") or name == "numa_nodes":
+                    self._numa_gauges.labels(name=name).set(value)
+                else:
+                    self._numa_counters.labels(name=name).sync(value)
+            self._numa_remote.child().set(kernel.numa.remote_walk_share())
         tracer = kernel.trace
         if tracer is not None:
             for subsystem, (events, span_us) in tracer.attribution().items():

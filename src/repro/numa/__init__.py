@@ -1,0 +1,37 @@
+"""Multi-node NUMA layer: topology, per-node zones, mempolicies, balancing.
+
+The paper's evaluation platform is a two-socket Haswell-EP, but the
+simulator historically modelled a single flat memory node.  This package
+adds the missing axis — *where* a page lands relative to *who* accesses
+it:
+
+* :class:`~repro.numa.topology.NumaTopology` — node count, per-node
+  frame ranges and a node-distance matrix (Linux convention: local 10,
+  one hop 20);
+* :class:`~repro.numa.allocator.NodeAllocator` — per-node
+  :class:`~repro.mem.buddy.BuddyAllocator` zones behind the exact buddy
+  surface the kernel already consumes, with distance-ordered fallback;
+* :class:`~repro.numa.mempolicy.MemPolicy` — first-touch/local,
+  interleave, preferred and bind placement policies, selectable
+  per-process and per-VMA;
+* :class:`~repro.numa.balance.NumaState` — the ``knumad`` balancing
+  kthread (hint faults from sampled access bits, budgeted hot-page and
+  huge-region migration with demote-on-split), remote walk accounting
+  and Mitosis-style replicated page tables.
+
+Single-node kernels never construct any of this: ``kernel.numa`` stays
+``None`` and every fast path is byte-identical to the pre-NUMA code.
+"""
+
+from repro.numa.allocator import NodeAllocator
+from repro.numa.balance import NumaState
+from repro.numa.mempolicy import MemPolicy, MemPolicyKind
+from repro.numa.topology import NumaTopology
+
+__all__ = [
+    "MemPolicy",
+    "MemPolicyKind",
+    "NodeAllocator",
+    "NumaState",
+    "NumaTopology",
+]

@@ -1,0 +1,387 @@
+"""NUMA runtime state: hint faults, knumad balancing, replicated PTs.
+
+:class:`NumaState` is attached to a kernel as ``kernel.numa`` when the
+topology has more than one node; single-node kernels keep the slot
+``None`` and never execute any of this.  It owns three mechanisms:
+
+**Hint faults** — AutoNUMA's signal.  The access-bit sampler already
+tells us which regions a process touched in the last period; when
+balancing is on, every *remote* sampled region charges the process one
+minor fault per covered page (the cost of Linux unmapping and re-faulting
+pages to learn their accessing node) and becomes a migration candidate.
+
+**knumad** — the balancing kthread.  Each epoch it migrates the hottest
+misplaced regions toward the owner's home node under a page-rate budget,
+reusing the kernel's ``_migrate_frame`` rebinding path.  Whole huge
+regions move via a single order-9 allocation on the target node; when the
+target has no contiguous block free, the region is *demoted and migrated
+page-wise* (split migration), trading the huge mapping for locality —
+the promotion engine can rebuild it locally later.  Candidate order is
+(hotness desc, pid, hvpn): fully deterministic, no rng.
+
+**Replicated page tables** — Mitosis mode.  Every node keeps a full
+replica of each process's page table, so page walks always hit local
+memory: the remote-walk multiplier disappears from the MMU model, paid
+for with ``(nodes - 1) x pt_pages`` of extra kernel memory, which is
+reported (``numastat``, the ``numa`` experiment) rather than carved out
+of the zones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro import trace
+from repro.kernel.kthread import RateLimiter
+from repro.numa.allocator import NodeAllocator
+from repro.units import CYCLES_PER_USEC, PAGES_PER_HUGE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.vm.process import Process
+    from repro.vm.vma import VMA
+
+
+class NumaState:
+    """Per-kernel NUMA machinery (only built for multi-node topologies)."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.topology = kernel.config.topology
+        allocator = kernel.buddy
+        assert isinstance(allocator, NodeAllocator)
+        self.allocator: NodeAllocator = allocator
+        self.nodes = allocator.nodes
+        self.replicated_pt = kernel.config.replicated_page_tables
+        rate = kernel.config.knumad_pages_per_sec
+        self.balancing = rate > 0
+        self.knumad = RateLimiter(rate, kernel.config.epoch_us)
+        #: migration candidates keyed (pid, hvpn) -> coverage EMA at the
+        #: last sample; rebuilt per process on every sample pass.
+        self._candidates: dict[tuple[int, int], float] = {}
+        #: remote page-walk cycles charged this epoch / since boot.
+        self.remote_walk_cycles_epoch = 0.0
+        self.remote_walk_cycles_total = 0.0
+
+    # ------------------------------------------------------------------ #
+    # placement                                                          #
+    # ------------------------------------------------------------------ #
+
+    def node_of(self, frame: int) -> int:
+        """The node owning a physical frame."""
+        return self.allocator.node_of(frame)
+
+    def resolve_policy(self, proc: "Process", vma: Optional["VMA"]):
+        """The effective mempolicy: VMA override, else process, else None."""
+        if vma is not None and vma.mempolicy is not None:
+            return vma.mempolicy
+        return proc.mempolicy
+
+    def fault_node(self, proc: "Process", vma: Optional["VMA"],
+                   hvpn: int) -> tuple[int, bool]:
+        """``(node, strict)`` placement for a fault in huge region ``hvpn``."""
+        policy = self.resolve_policy(proc, vma)
+        if policy is None:
+            return proc.home_node, False
+        return policy.target_node(proc.home_node, hvpn, self.nodes), policy.strict
+
+    def region_node(self, proc: "Process", hvpn: int) -> int | None:
+        """The node backing a region (first mapped page's node).
+
+        Regions are populated by node-uniform extents and migrated
+        wholesale, so the first mapped page is representative; exact
+        per-node counts are available via :meth:`region_node_counts`.
+        """
+        pt = proc.page_table
+        huge_pte = pt.huge.get(hvpn)
+        if huge_pte is not None:
+            return self.node_of(huge_pte.frame)
+        vpn0 = hvpn << 9
+        base = pt.base
+        for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE):
+            pte = base.get(vpn)
+            if pte is not None and pte.private:
+                return self.node_of(pte.frame)
+        return None
+
+    def region_node_counts(self, proc: "Process", hvpn: int) -> list[int]:
+        """Resident pages of a region per node (exact, O(512))."""
+        counts = [0] * self.nodes
+        pt = proc.page_table
+        huge_pte = pt.huge.get(hvpn)
+        if huge_pte is not None:
+            counts[self.node_of(huge_pte.frame)] = PAGES_PER_HUGE
+            return counts
+        vpn0 = hvpn << 9
+        base = pt.base
+        for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE):
+            pte = base.get(vpn)
+            if pte is not None and pte.private:
+                counts[self.node_of(pte.frame)] += 1
+        return counts
+
+    def majority_node(self, proc: "Process", hvpn: int) -> int:
+        """The node holding most of a region's pages (promotion target)."""
+        counts = self.region_node_counts(proc, hvpn)
+        best = max(counts)
+        return counts.index(best) if best > 0 else proc.home_node
+
+    # ------------------------------------------------------------------ #
+    # remote-walk accounting (fed by WorkloadRun cycle charging)         #
+    # ------------------------------------------------------------------ #
+
+    def charge_remote_walk(self, proc: "Process", cycles: float) -> None:
+        """Record page-walk cycles that hit remote memory this epoch."""
+        proc.stats.remote_walk_cycles += cycles
+        self.remote_walk_cycles_epoch += cycles
+
+    def remote_walk_share(self) -> float:
+        """Remote fraction of all walk cycles charged since boot."""
+        total = sum(run.proc.stats.walk_cycles for run in self.kernel.runs)
+        pending = self.remote_walk_cycles_total + self.remote_walk_cycles_epoch
+        return pending / total if total > 0 else 0.0
+
+    def load_remoteness(self, proc: "Process", hvpns) -> tuple[float, float]:
+        """``(remote_fraction, penalty)`` of an access-spec's hot regions.
+
+        The fraction is the share of touched regions resident off the
+        process's home node; the penalty is the mean SLIT distance ratio
+        over those remote regions.  Replicated page tables zero the
+        *walk* penalty (walks hit the local replica), which is what this
+        feeds, so that mode reports (0, 1).
+        """
+        if self.replicated_pt:
+            return 0.0, 1.0
+        home = proc.home_node
+        remote = 0
+        penalty = 0.0
+        for hvpn in hvpns:
+            node = self.region_node(proc, hvpn)
+            if node is None or node == home:
+                continue
+            remote += 1
+            penalty += self.topology.remote_penalty(home, node)
+        if remote == 0:
+            return 0.0, 1.0
+        return remote / len(hvpns), penalty / remote
+
+    # ------------------------------------------------------------------ #
+    # replicated page tables (Mitosis mode)                              #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def pt_pages(proc: "Process") -> int:
+        """4 KiB pages in one copy of the process's page table.
+
+        x86-64 radix shape: one PTE page per huge region mapped at base
+        granularity, one PMD page per GiB touched, one PUD page per
+        512 GiB, one PGD.
+        """
+        pt = proc.page_table
+        pte_tables = {vpn >> 9 for vpn in pt.base}
+        pmd_tables = {h >> 9 for h in pte_tables} | {h >> 9 for h in pt.huge}
+        pud_tables = {h >> 9 for h in pmd_tables}
+        return len(pte_tables) + len(pmd_tables) + len(pud_tables) + 1
+
+    def replica_pt_pages_per_node(self) -> int:
+        """Page-table pages each node holds in replicated-PT mode."""
+        if not self.replicated_pt:
+            return 0
+        return sum(self.pt_pages(proc) for proc in self.kernel.processes)
+
+    def replica_overhead_pages(self) -> int:
+        """Extra memory replication costs beyond a single page table."""
+        return (self.nodes - 1) * self.replica_pt_pages_per_node()
+
+    # ------------------------------------------------------------------ #
+    # sampling: hint faults + candidate harvest                          #
+    # ------------------------------------------------------------------ #
+
+    def on_sample(self, proc: "Process") -> None:
+        """Piggy-back on the access-bit sample: install NUMA hint faults.
+
+        Runs right after the kernel refreshed ``last_coverage`` for every
+        region.  Remote regions that were accessed charge hint faults and
+        become migration candidates ranked by coverage EMA.
+        """
+        if not self.balancing:
+            return
+        kernel = self.kernel
+        pid = proc.pid
+        self._candidates = {
+            key: ema for key, ema in self._candidates.items() if key[0] != pid
+        }
+        hints = 0
+        for hvpn in sorted(proc.regions):
+            region = proc.regions[hvpn]
+            if region.resident == 0 or region.last_coverage == 0:
+                continue
+            policy = self.resolve_policy(
+                proc, proc.vmas.try_find(hvpn << 9))
+            if policy is not None and policy.strict:
+                continue  # bound memory must not be balanced away
+            node = self.region_node(proc, hvpn)
+            if node is None or node == proc.home_node:
+                continue
+            hints += region.last_coverage
+            self._candidates[(pid, hvpn)] = region.coverage_ema
+        if hints:
+            cost = hints * kernel.costs.numa_hint_fault_us
+            kernel.stats.numa_hint_faults += hints
+            proc.fault_time_epoch_us += cost
+            if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.NUMA_HINT, proc.name, cost,
+                        detail=f"faults={hints}")
+
+    # ------------------------------------------------------------------ #
+    # the epoch tick: remote-walk emission + knumad migration            #
+    # ------------------------------------------------------------------ #
+
+    def on_epoch(self) -> None:
+        """Per-epoch NUMA work: account remote walks, run knumad."""
+        kernel = self.kernel
+        if self.remote_walk_cycles_epoch > 0.0:
+            span_us = self.remote_walk_cycles_epoch / CYCLES_PER_USEC
+            self.remote_walk_cycles_total += self.remote_walk_cycles_epoch
+            self.remote_walk_cycles_epoch = 0.0
+            if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.NUMA_REMOTE_WALK, "mmu", span_us)
+        if self.balancing:
+            self._run_knumad()
+
+    def _run_knumad(self) -> None:
+        """Migrate the hottest misplaced regions within the page budget."""
+        self.knumad.refill()
+        if not self._candidates:
+            return
+        kernel = self.kernel
+        by_pid = {proc.pid: proc for proc in kernel.processes}
+        moved_pages = 0
+        moved_regions = 0
+        cost = 0.0
+        out_of_budget = False
+        ordered = sorted(self._candidates.items(),
+                         key=lambda item: (-item[1], item[0]))
+        for (pid, hvpn), _ema in ordered:
+            proc = by_pid.get(pid)
+            if proc is None:
+                self._candidates.pop((pid, hvpn), None)
+                continue
+            pages, region_cost, exhausted = self._migrate_region(proc, hvpn)
+            moved_pages += pages
+            cost += region_cost
+            if pages or not exhausted:
+                # fully handled (moved, or no longer misplaced)
+                self._candidates.pop((pid, hvpn), None)
+                if pages:
+                    moved_regions += 1
+            if exhausted:
+                out_of_budget = True
+                break
+        if cost:
+            kernel.stats.knumad_cpu_us += cost
+        if moved_pages and trace.enabled and \
+                (tp := kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.KTHREAD_EPOCH, "knumad", cost,
+                    detail=f"regions={moved_regions} pages={moved_pages}"
+                           f"{' budget' if out_of_budget else ''}")
+
+    def _migrate_region(self, proc: "Process", hvpn: int) -> tuple[int, float, bool]:
+        """Move one region toward the owner's home node.
+
+        Returns ``(pages_moved, cpu_us, budget_exhausted)``.
+        """
+        kernel = self.kernel
+        target = proc.home_node
+        pt = proc.page_table
+        region = proc.regions.get(hvpn)
+        if region is None or region.resident == 0:
+            return 0, 0.0, False
+        cost = 0.0
+        if hvpn in pt.huge:
+            if self.node_of(pt.huge[hvpn].frame) == target:
+                return 0, 0.0, False
+            if not self.knumad.take(PAGES_PER_HUGE):
+                return 0, cost, True
+            moved, huge_cost = self._migrate_huge(proc, hvpn, target)
+            if moved:
+                return PAGES_PER_HUGE, huge_cost, False
+            if self.allocator.zone(target).free_pages < PAGES_PER_HUGE:
+                # The target node cannot host the region even page-wise;
+                # splitting would sacrifice the huge mapping for nothing.
+                return 0, cost, False
+            # No contiguous block on the target: split, then migrate
+            # the base pages below (demote-on-split-migration).
+            cost += kernel.demote_region(proc, hvpn)
+            kernel.stats.numa_split_migrations += 1
+        return self._migrate_base_pages(proc, hvpn, target, cost)
+
+    def _migrate_huge(self, proc: "Process", hvpn: int,
+                      target: int) -> tuple[bool, float]:
+        """Whole-region migration via one order-9 allocation on ``target``."""
+        kernel = self.kernel
+        frames = kernel.frames
+        pt = proc.page_table
+        old = pt.huge[hvpn].frame
+        got = self.allocator.try_alloc(
+            9, prefer_zero=False, owner=proc.pid, node=target, strict=True)
+        if got is None:
+            return False, 0.0
+        new = got[0]
+        frames.first_nonzero[new:new + PAGES_PER_HUGE] = \
+            frames.first_nonzero[old:old + PAGES_PER_HUGE]
+        frames.content_tag[new:new + PAGES_PER_HUGE] = \
+            frames.content_tag[old:old + PAGES_PER_HUGE]
+        pt.huge[hvpn].frame = new
+        kernel._rmap_huge.pop(old, None)
+        kernel.rmap_add_huge(new, proc, hvpn)
+        kernel.buddy.free(old, 9)
+        cost = (PAGES_PER_HUGE * kernel.costs.numa_migrate_page_us
+                + kernel.costs.remap_us)
+        kernel.stats.numa_pages_migrated += PAGES_PER_HUGE
+        kernel.stats.numa_huge_migrated += 1
+        self._emit_migrate(proc, hvpn, PAGES_PER_HUGE, target, cost, "huge")
+        return True, cost
+
+    def _migrate_base_pages(self, proc: "Process", hvpn: int, target: int,
+                            cost: float) -> tuple[int, float, bool]:
+        """Page-wise migration of a base-mapped region toward ``target``."""
+        kernel = self.kernel
+        frames = kernel.frames
+        base = proc.page_table.base
+        vpn0 = hvpn << 9
+        moved = 0
+        for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE):
+            pte = base.get(vpn)
+            if pte is None or not pte.private:
+                continue
+            old = pte.frame
+            if self.node_of(old) == target:
+                continue
+            if not self.knumad.take(1):
+                return moved, cost, True
+            got = self.allocator.try_alloc(
+                0, prefer_zero=False, owner=proc.pid, node=target, strict=True)
+            if got is None:
+                # Target node is out of memory; leave the page remote.
+                return moved, cost, False
+            new = got[0]
+            if not kernel._migrate_frame(old, new):  # pragma: no cover - stale rmap
+                kernel.buddy.free(new, 0)
+                continue
+            frames.first_nonzero[new] = frames.first_nonzero[old]
+            frames.content_tag[new] = frames.content_tag[old]
+            kernel.buddy.free(old, 0)
+            moved += 1
+        if moved:
+            cost += moved * kernel.costs.numa_migrate_page_us
+            kernel.stats.numa_pages_migrated += moved
+            self._emit_migrate(proc, hvpn, moved, target, cost, "base")
+        return moved, cost, False
+
+    def _emit_migrate(self, proc: "Process", hvpn: int, pages: int,
+                      target: int, cost: float, how: str) -> None:
+        kernel = self.kernel
+        if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+            tp.emit(trace.TraceKind.NUMA_MIGRATE, proc.name, cost, hvpn,
+                    detail=f"{how} pages={pages} -> node{target}")

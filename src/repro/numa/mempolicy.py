@@ -1,0 +1,65 @@
+"""NUMA memory placement policies (``set_mempolicy``/``mbind`` analogue).
+
+Four policies, matching Linux's:
+
+* **local** (first-touch) — allocate on the faulting process's home
+  node, falling back to the nearest node with free memory;
+* **interleave** — stripe allocations across all nodes at huge-region
+  (2 MiB) granularity, by virtual address, so huge-page promotion never
+  has to gather frames from several nodes for one region;
+* **preferred** — like local but with an explicit target node;
+* **bind** — allocate *only* on the given node; when it runs dry the
+  fault path goes through reclaim/OOM rather than spilling remotely.
+
+Interleaving is address-based (``hvpn % nodes``) rather than counter
+based: it needs no mutable state, so allocation order cannot perturb
+placement and sweep runs stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemPolicyKind(enum.Enum):
+    """Placement policy kinds (Linux MPOL_* analogues)."""
+
+    LOCAL = "local"
+    INTERLEAVE = "interleave"
+    PREFERRED = "preferred"
+    BIND = "bind"
+
+
+@dataclass(frozen=True)
+class MemPolicy:
+    """A placement policy, optionally pinned to one node.
+
+    ``node`` is required for ``PREFERRED`` and ``BIND`` and ignored for
+    the other kinds.
+    """
+
+    kind: MemPolicyKind = MemPolicyKind.LOCAL
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.errors import ConfigError
+
+        needs_node = self.kind in (MemPolicyKind.PREFERRED, MemPolicyKind.BIND)
+        if needs_node and self.node is None:
+            raise ConfigError(
+                f"mempolicy {self.kind.value!r} needs an explicit node")
+
+    def target_node(self, home_node: int, hvpn: int, nodes: int) -> int:
+        """The node this policy places huge region ``hvpn`` on."""
+        if self.kind is MemPolicyKind.INTERLEAVE:
+            return hvpn % nodes
+        if self.kind in (MemPolicyKind.PREFERRED, MemPolicyKind.BIND):
+            assert self.node is not None
+            return self.node
+        return home_node
+
+    @property
+    def strict(self) -> bool:
+        """Whether allocation may NOT spill to other nodes (bind only)."""
+        return self.kind is MemPolicyKind.BIND

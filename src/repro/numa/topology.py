@@ -1,0 +1,142 @@
+"""NUMA topology: node count, per-node frame ranges, distance matrix.
+
+Distances follow the Linux/ACPI SLIT convention: a node is 10 from
+itself and 20 from a one-hop neighbour, so ``distance[a][b] /
+distance[a][a]`` is the relative latency multiplier of a remote access.
+The default matrix is fully symmetric (every remote node one hop away),
+which matches the two- and four-socket glueless platforms the paper and
+Mitosis evaluate on; an explicit matrix models anything else.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.units import MAX_ORDER
+
+#: SLIT distance of a node to itself.
+LOCAL_DISTANCE = 10
+#: SLIT distance of a one-hop remote node.
+REMOTE_DISTANCE = 20
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Immutable description of the machine's memory nodes.
+
+    ``ranges`` optionally pins each node's ``[start, end)`` frame range;
+    when omitted, physical memory is split into ``nodes`` near-equal
+    contiguous ranges aligned to the buddy allocator's largest block so
+    zone seeding stays maximal.  ``distance`` optionally replaces the
+    default all-ones-hop SLIT matrix.
+    """
+
+    nodes: int = 1
+    ranges: tuple[tuple[int, int], ...] | None = None
+    distance: tuple[tuple[int, ...], ...] | None = None
+
+    def validate(self, num_frames: int) -> None:
+        """Reject inconsistent topologies with actionable messages."""
+        from repro.errors import ConfigError
+
+        if self.nodes < 1:
+            raise ConfigError(
+                f"topology needs at least 1 node, got nodes={self.nodes}")
+        if num_frames < self.nodes:
+            raise ConfigError(
+                f"{num_frames} frames cannot be split across "
+                f"{self.nodes} nodes — shrink the node count or grow memory")
+        if self.ranges is not None:
+            if len(self.ranges) != self.nodes:
+                raise ConfigError(
+                    f"topology declares {self.nodes} nodes but "
+                    f"{len(self.ranges)} frame ranges — one range per node")
+            cursor = 0
+            for node, (start, end) in enumerate(self.ranges):
+                if start != cursor:
+                    raise ConfigError(
+                        f"node {node} frame range starts at {start}, expected "
+                        f"{cursor} — ranges must partition [0, {num_frames}) "
+                        "contiguously in node order")
+                if end <= start:
+                    raise ConfigError(
+                        f"node {node} frame range [{start}, {end}) is empty "
+                        "— every node needs at least one frame")
+                cursor = end
+            if cursor != num_frames:
+                raise ConfigError(
+                    f"node ranges cover [0, {cursor}) but memory has "
+                    f"{num_frames} frames — ranges must partition all of it")
+        if self.distance is not None:
+            if len(self.distance) != self.nodes or any(
+                    len(row) != self.nodes for row in self.distance):
+                raise ConfigError(
+                    f"distance matrix must be {self.nodes}x{self.nodes}, got "
+                    f"{len(self.distance)} rows of lengths "
+                    f"{[len(r) for r in self.distance]}")
+            for a in range(self.nodes):
+                for b in range(self.nodes):
+                    if self.distance[a][b] != self.distance[b][a]:
+                        raise ConfigError(
+                            f"distance matrix is asymmetric: "
+                            f"d[{a}][{b}]={self.distance[a][b]} but "
+                            f"d[{b}][{a}]={self.distance[b][a]}")
+                    if a == b and self.distance[a][b] <= 0:
+                        raise ConfigError(
+                            f"local distance d[{a}][{a}] must be positive, "
+                            f"got {self.distance[a][b]}")
+                    if a != b and self.distance[a][b] < self.distance[a][a]:
+                        raise ConfigError(
+                            f"remote distance d[{a}][{b}]="
+                            f"{self.distance[a][b]} is below local distance "
+                            f"d[{a}][{a}]={self.distance[a][a]}")
+
+    def node_ranges(self, num_frames: int) -> list[tuple[int, int]]:
+        """Each node's ``[start, end)`` frame range.
+
+        The default split aligns interior boundaries down to the largest
+        buddy block (``2**MAX_ORDER`` frames) so every zone seeds into
+        maximal blocks; the last node absorbs the remainder.
+        """
+        if self.ranges is not None:
+            return [tuple(r) for r in self.ranges]
+        # Align to the largest buddy block that still fits in every
+        # node's share, so tiny memories degrade to equal splits instead
+        # of starving the first nodes.
+        share = num_frames // self.nodes
+        align = 1 << min(MAX_ORDER, max(0, share.bit_length() - 1))
+        bounds = [0]
+        for node in range(1, self.nodes):
+            cut = (num_frames * node // self.nodes) // align * align
+            bounds.append(max(cut, bounds[-1] + 1))
+        bounds.append(num_frames)
+        return [(bounds[i], bounds[i + 1]) for i in range(self.nodes)]
+
+    def distance_matrix(self) -> list[list[int]]:
+        """The SLIT matrix (default: local 10, every remote node 20)."""
+        if self.distance is not None:
+            return [list(row) for row in self.distance]
+        return [
+            [LOCAL_DISTANCE if a == b else REMOTE_DISTANCE
+             for b in range(self.nodes)]
+            for a in range(self.nodes)
+        ]
+
+    def remote_penalty(self, src: int, dst: int) -> float:
+        """Latency multiplier of ``src`` accessing ``dst``'s memory."""
+        matrix = self.distance_matrix()
+        return matrix[src][dst] / matrix[src][src]
+
+
+class NodeMap:
+    """O(log n) frame → node lookup over a topology's frame ranges."""
+
+    def __init__(self, topology: NumaTopology, num_frames: int):
+        self.topology = topology
+        self.ranges = topology.node_ranges(num_frames)
+        self._starts = [start for start, _ in self.ranges]
+
+    def node_of(self, frame: int) -> int:
+        """The node whose frame range contains ``frame``."""
+        return bisect.bisect_right(self._starts, frame) - 1

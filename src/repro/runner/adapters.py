@@ -240,7 +240,84 @@ register(
     "fig5", "Figure 5: promotion speedup and efficiency, fragmented start",
     cases=FIG5_WORKLOADS, policies=FIG5_POLICIES, run=run_fig5,
 )
+# --------------------------------------------------------------------- #
+# numa — placement policy x node count on an asymmetric workload        #
+# --------------------------------------------------------------------- #
+
+NUMA_POLICIES = ("linux-2mb", "hawkeye-g")
+#: placement mode x node count.  local = first-touch on the home node
+#: (the locality ceiling); interleave = round-robin pages across nodes
+#: (the remote-access floor); balanced = interleave start + knumad hint
+#: faults migrating hot memory home; replicated = interleave start +
+#: Mitosis-style per-node page-table replicas (no remote *walks*, the
+#: data accesses stay remote).
+NUMA_CASES = (
+    "local-2", "interleave-2", "balanced-2", "replicated-2",
+    "local-4", "interleave-4", "balanced-4", "replicated-4",
+)
+
+NUMA_WORK_S = 200.0
+
+
+def run_numa(case: str, policy: str, scale: Scale) -> dict:
+    """NUMA cell: one placement mode on a node-0-homed compute workload.
+
+    The workload is deliberately asymmetric — every thread runs on node
+    0 while the footprint spans the machine — so interleaved placement
+    makes half (or 3/4) of all page walks remote.  Balancing should
+    claw that share back toward the local-placement ceiling; replicated
+    page tables should zero it by construction.
+    """
+    from repro.experiments import scaled_tlb
+    from repro.numa.mempolicy import MemPolicy, MemPolicyKind
+    from repro.workloads.compute import ComputeWorkload
+
+    mode, nodes_str = case.rsplit("-", 1)
+    nodes = int(nodes_str)
+    kernel = make_kernel(
+        24 * GB, policy, scale,
+        numa_nodes=nodes,
+        numa_balance=(mode == "balanced"),
+        replicated_pt=(mode == "replicated"),
+        # Scaled TLB (as in the virtualised experiments): at 1/64 memory
+        # a full-size TLB covers the whole scaled footprint even at base
+        # pages, hiding the walk traffic the remote-share metric prices.
+        tlb=scaled_tlb(scale),
+    )
+    mempolicy = (None if mode == "local"
+                 else MemPolicy(MemPolicyKind.INTERLEAVE))
+    wl = ComputeWorkload(
+        "numa-compute", 8 * GB, work_us=NUMA_WORK_S * SEC,
+        access_rate=20.0, scale=scale.factor,
+    )
+    run = kernel.spawn(wl, node=0, mempolicy=mempolicy)
+    kernel.run(max_epochs=3000)
+    if not run.finished:
+        raise RuntimeError(f"{case}/{policy} did not finish within the epoch cap")
+    numa = kernel.numa
+    stats = kernel.stats
+    from repro.kernel.procfs import numastat
+
+    return {
+        "nodes": nodes,
+        "mode": mode,
+        "time_s": run.elapsed_us / SEC,
+        "remote_walk_share": numa.remote_walk_share() if numa else 0.0,
+        "hint_faults": int(stats.numa_hint_faults),
+        "pages_migrated": int(stats.numa_pages_migrated),
+        "huge_migrated": int(stats.numa_huge_migrated),
+        "split_migrations": int(stats.numa_split_migrations),
+        "pt_replica_pages": int(numa.replica_overhead_pages()) if numa else 0,
+        "promotions": int(run.proc.stats.promotions),
+        "numastat": numastat(kernel),
+    }
+
+
 register(
     "smoke", "seconds-scale touch grid (CI cache smoke test)",
     cases=("touch",), policies=SMOKE_POLICIES, run=run_smoke,
+)
+register(
+    "numa", "NUMA placement: local vs interleave vs balanced vs replicated-PT",
+    cases=NUMA_CASES, policies=NUMA_POLICIES, run=run_numa,
 )

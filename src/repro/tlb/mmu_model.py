@@ -44,6 +44,11 @@ class RegionLoad:
     weight: float                 # share of the process's accesses
     pattern: Pattern = Pattern.RANDOM
     stride: int = 8               # bytes between consecutive accesses (sequential)
+    #: fraction of this load's pages resident on a remote NUMA node; walks
+    #: into those pages pay ``remote_penalty`` (SLIT distance ratio).
+    #: Zero on single-node kernels, keeping the cost math untouched.
+    remote_fraction: float = 0.0
+    remote_penalty: float = 1.0
 
 
 @dataclass
@@ -57,6 +62,9 @@ class MMUEpoch:
     miss_base: float = 0.0
     miss_huge: float = 0.0
     tlb_miss_rate: float = 0.0        # misses per access (Table 3 column)
+    #: share of walk cycles attributable to remote-node memory (the extra
+    #: cost *and* the remote portion of the base cost).
+    remote_walk_fraction: float = 0.0
 
     def charge(self, pmu: PMUCounters, useful_us: float) -> tuple[float, float]:
         """Feed the PMU with this epoch's walker activity.
@@ -103,6 +111,7 @@ class MMUModel:
 
         walk_per_us = 0.0
         misses_per_us = 0.0
+        remote_walk_per_us = 0.0
         total_weight = sum(load.weight for load in loads)
         for load in loads:
             accesses = access_rate * load.weight
@@ -115,12 +124,21 @@ class MMUModel:
                 miss_ratio = self._miss_ratio(load, size, capacity_miss)
                 cost = blended_walk_cycles(size, host_huge_fraction)
                 cost *= pattern_latency_factor(load.pattern)
+                if load.remote_fraction > 0.0:
+                    # Walks into remote pages pay the SLIT distance ratio;
+                    # guarded so single-node float math stays untouched.
+                    rf = load.remote_fraction
+                    remote_cost = cost * rf * load.remote_penalty
+                    cost = cost * (1.0 - rf) + remote_cost
+                    remote_walk_per_us += accesses * share * miss_ratio * remote_cost
                 walk_per_us += accesses * share * miss_ratio * cost
                 misses_per_us += accesses * share * miss_ratio
 
         x = walk_per_us / CYCLES_PER_USEC
         result.walk_cycles_per_useful = x
         result.overhead = x / (1.0 + x)
+        if remote_walk_per_us > 0.0:
+            result.remote_walk_fraction = remote_walk_per_us / walk_per_us
         # misses per access: normalise by the total access stream, which
         # is access_rate spread over the loads' weights
         result.tlb_miss_rate = misses_per_us / (access_rate * total_weight)

@@ -78,6 +78,9 @@ class TraceKind(enum.Enum):
     KSM_MERGE = "ksm.merge"
     OOM = "oom"
     KTHREAD_EPOCH = "kthread.epoch"
+    NUMA_HINT = "numa.hint"
+    NUMA_MIGRATE = "numa.migrate"
+    NUMA_REMOTE_WALK = "numa_walk.remote"
 
     @property
     def subsystem(self) -> str:

@@ -65,6 +65,8 @@ class ProcessStats:
     demotions: int = 0
     walk_cycles: float = 0.0
     total_cycles: float = 0.0
+    #: walk cycles spent on remote-node page walks (0 on single-node).
+    remote_walk_cycles: float = 0.0
 
 
 class Process:
@@ -91,6 +93,11 @@ class Process:
         self.finished = False
         #: creation order, used by FCFS policies (Linux khugepaged).
         self.launch_index = self.pid
+        #: NUMA node this process's threads run on (scheduler placement).
+        self.home_node: int = 0
+        #: process-wide placement policy; None means local (first-touch).
+        #: Typed loosely to keep single-node builds import-free of numa.
+        self.mempolicy = None
 
     def region(self, hvpn: int) -> RegionInfo:
         """Get or create the metadata record for huge region ``hvpn``."""

@@ -48,6 +48,10 @@ class VMA:
     name: str = "anon"
     kind: VMAKind = VMAKind.ANON
     hint: HugePageHint = HugePageHint.DEFAULT
+    #: per-VMA NUMA placement override (``mbind``); None defers to the
+    #: process policy.  Typed loosely so single-node code never imports
+    #: the numa package.
+    mempolicy: object | None = None
 
     @property
     def end(self) -> int:

@@ -82,6 +82,7 @@ class AccessProfile:
     def loads(self, kernel: "Kernel", proc: Process) -> list[RegionLoad]:
         """Convert specs into hardware-model loads for the current epoch."""
         out: list[RegionLoad] = []
+        numa = kernel.numa
         for spec in self.specs:
             vma = _try_vma(proc, spec.region)
             if vma is None:
@@ -90,6 +91,10 @@ class AccessProfile:
             if not hvpns:
                 continue
             promoted = sum(1 for h in hvpns if h in proc.page_table.huge)
+            remote_fraction, remote_penalty = (
+                numa.load_remoteness(proc, hvpns) if numa is not None
+                else (0.0, 1.0)
+            )
             out.append(
                 RegionLoad(
                     touched_regions=len(hvpns),
@@ -98,6 +103,8 @@ class AccessProfile:
                     weight=spec.weight,
                     pattern=spec.pattern,
                     stride=spec.stride,
+                    remote_fraction=remote_fraction,
+                    remote_penalty=remote_penalty,
                 )
             )
         return out
@@ -495,6 +502,10 @@ class WorkloadRun:
             pmu.record(walk, total)
         self.proc.stats.walk_cycles += walk
         self.proc.stats.total_cycles += total
+        if walk > 0.0 and mmu_epoch is not None \
+                and mmu_epoch.remote_walk_fraction > 0.0 \
+                and (numa := self.kernel.numa) is not None:
+            numa.charge_remote_walk(self.proc, walk * mmu_epoch.remote_walk_fraction)
 
     def _next_phase(self) -> None:
         self._phase_idx += 1

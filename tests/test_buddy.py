@@ -1,10 +1,15 @@
 """Unit tests for the buddy allocator and its zero/non-zero free lists."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.errors import AllocationError
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.frames import FrameTable
+from repro.numa.allocator import NodeAllocator
+from repro.numa.topology import NumaTopology
 
 
 def make(num_frames=4096):
@@ -147,3 +152,115 @@ def test_non_power_of_two_memory_seeded_fully():
             break
         taken.append(got[0])
     assert len(taken) == 3000
+
+
+# ---------------------------------------------------------------------- #
+# multi-node NodeAllocator properties (hypothesis)                        #
+# ---------------------------------------------------------------------- #
+
+NUMA_FRAMES = 1536
+NUMA_NODES = 3
+
+
+class NodeAllocatorMachine(RuleBasedStateMachine):
+    """Frame conservation across per-node zones under arbitrary traffic.
+
+    Invariants after every alloc/free interleaving:
+
+    * global conservation: free + live pages == total, and the per-node
+      breakdown conserves each zone's own total;
+    * no free block straddles a zone boundary (coalescing cannot cross
+      nodes);
+    * strict allocations land on the requested node, spills are counted
+      once as a miss (where they landed) and once as foreign (where they
+      were asked to land).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.frames = FrameTable(NUMA_FRAMES)
+        self.allocator = NodeAllocator(
+            self.frames, NumaTopology(nodes=NUMA_NODES))
+        self.live: list[tuple[int, int]] = []  # (start, order)
+
+    @rule(order=st.integers(0, 9),
+          node=st.one_of(st.none(), st.integers(0, NUMA_NODES - 1)),
+          strict=st.booleans())
+    def alloc(self, order, node, strict):
+        got = self.allocator.try_alloc(order, node=node, strict=strict)
+        if got is None:
+            if node is not None and strict:
+                # strict failure must mean the node itself has no block
+                assert self.allocator.zone(node).try_alloc(order) is None
+            return
+        start, _ = got
+        landed = self.allocator.node_of(start)
+        if node is not None and strict:
+            assert landed == node
+        # a block never straddles its zone
+        zone = self.allocator.zone(landed)
+        assert zone.start <= start and start + (1 << order) <= zone.end
+        self.live.append((start, order))
+
+    @rule(idx=st.integers(0, 200))
+    def free_block(self, idx):
+        if not self.live:
+            return
+        start, order = self.live.pop(idx % len(self.live))
+        self.allocator.free(start, order)
+
+    @invariant()
+    def conservation(self):
+        live_pages = sum(1 << order for _, order in self.live)
+        assert self.allocator.free_pages + live_pages == NUMA_FRAMES
+        assert self.frames.allocated_count() == live_pages
+        # per-node: each zone conserves its own range
+        for node, (lo, hi) in enumerate(self.allocator.node_map.ranges):
+            zone = self.allocator.zone(node)
+            live_here = sum(
+                1 << order for start, order in self.live if lo <= start < hi)
+            assert zone.free_pages + live_here == hi - lo
+            assert zone.allocated_pages == live_here
+
+    @invariant()
+    def free_blocks_stay_in_zone(self):
+        for node, zone in enumerate(self.allocator.zones):
+            for start, order, _ in zone.iter_free_blocks():
+                assert self.allocator.node_of(start) == node
+                assert start + (1 << order) <= zone.end
+
+    @invariant()
+    def placement_counters_balance(self):
+        alc = self.allocator
+        # every spill is exactly one miss (landing) + one foreign (wanted)
+        assert sum(alc.numa_miss) == sum(alc.numa_foreign)
+        # counters only grow with allocation traffic, never exceed it
+        assert all(v >= 0 for v in alc.numa_hit + alc.numa_miss + alc.numa_foreign)
+
+
+NodeAllocatorMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestNodeAllocatorProperties = NodeAllocatorMachine.TestCase
+
+
+def test_node_allocator_double_free_rejected():
+    frames = FrameTable(NUMA_FRAMES)
+    allocator = NodeAllocator(frames, NumaTopology(nodes=NUMA_NODES))
+    start, _ = allocator.alloc(order=3, node=1, strict=True)
+    allocator.free(start, 3)
+    with pytest.raises(AllocationError):
+        allocator.free(start, 3)
+
+
+def test_node_allocator_free_range_splits_at_zone_boundary():
+    frames = FrameTable(NUMA_FRAMES)
+    allocator = NodeAllocator(frames, NumaTopology(nodes=NUMA_NODES))
+    # drain everything, then free a range straddling the node 0/1 boundary
+    while allocator.try_alloc(0) is not None:
+        pass
+    boundary = allocator.node_map.ranges[0][1]
+    allocator.free_range(boundary - 100, 200)
+    assert allocator.zone(0).free_pages == 100
+    assert allocator.zone(1).free_pages == 100
+    assert allocator.free_pages == 200

@@ -1,0 +1,201 @@
+"""Unit tests for the NUMA subsystem: topology validation, mempolicies,
+per-node placement, hint-fault balancing and replicated page tables.
+
+The validation tests exercise one rejection each, asserting on the
+actionable part of the message — a bad topology must fail at
+:class:`KernelConfig` construction, not as a mid-run allocator crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import Scale, make_kernel
+from repro.kernel import procfs
+from repro.kernel.kernel import KernelConfig
+from repro.numa.mempolicy import MemPolicy, MemPolicyKind
+from repro.numa.topology import NumaTopology
+from repro.units import GB, MB
+from repro.workloads.compute import ComputeWorkload
+
+SCALE = Scale(1 / 64)
+
+
+# --------------------------------------------------------------------- #
+# KernelConfig topology validation: one test per rejection               #
+# --------------------------------------------------------------------- #
+
+
+def config(**kwargs) -> KernelConfig:
+    kwargs.setdefault("mem_bytes", 64 * MB)  # 16384 frames
+    return KernelConfig(**kwargs)
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ConfigError, match="at least 1 node"):
+        config(topology=NumaTopology(nodes=0))
+
+
+def test_more_nodes_than_frames_rejected():
+    # 4 MB = 1024 frames, the smallest legal memory; 2048 nodes cannot fit
+    with pytest.raises(ConfigError, match="cannot be split across"):
+        config(mem_bytes=4 * MB, topology=NumaTopology(nodes=2048))
+
+
+def test_wrong_range_count_rejected():
+    with pytest.raises(ConfigError, match="one range per node"):
+        config(topology=NumaTopology(nodes=2, ranges=((0, 16384),)))
+
+
+def test_non_contiguous_ranges_rejected():
+    with pytest.raises(ConfigError, match="must partition"):
+        config(topology=NumaTopology(
+            nodes=2, ranges=((0, 8000), (9000, 16384))))
+
+
+def test_empty_range_rejected():
+    with pytest.raises(ConfigError, match="at least one frame"):
+        config(topology=NumaTopology(
+            nodes=2, ranges=((0, 16384), (16384, 16384))))
+
+
+def test_short_ranges_rejected():
+    with pytest.raises(ConfigError, match="partition all of it"):
+        config(topology=NumaTopology(
+            nodes=2, ranges=((0, 8192), (8192, 16000))))
+
+
+def test_wrong_distance_shape_rejected():
+    with pytest.raises(ConfigError, match="must be 2x2"):
+        config(topology=NumaTopology(nodes=2, distance=((10, 20),)))
+
+
+def test_asymmetric_distance_rejected():
+    with pytest.raises(ConfigError, match="asymmetric"):
+        config(topology=NumaTopology(
+            nodes=2, distance=((10, 20), (30, 10))))
+
+
+def test_non_positive_local_distance_rejected():
+    with pytest.raises(ConfigError, match="must be positive"):
+        config(topology=NumaTopology(
+            nodes=2, distance=((0, 20), (20, 10))))
+
+
+def test_remote_below_local_distance_rejected():
+    with pytest.raises(ConfigError, match="below local distance"):
+        config(topology=NumaTopology(
+            nodes=2, distance=((10, 5), (5, 10))))
+
+
+def test_negative_knumad_rate_rejected():
+    with pytest.raises(ConfigError, match="knumad_pages_per_sec"):
+        config(knumad_pages_per_sec=-1.0)
+
+
+def test_default_ranges_partition_and_align():
+    topo = NumaTopology(nodes=4)
+    ranges = topo.node_ranges(16384)
+    assert ranges[0][0] == 0 and ranges[-1][1] == 16384
+    for (_, end), (start, _) in zip(ranges, ranges[1:]):
+        assert end == start
+    for start, end in ranges:
+        assert end > start
+    # interior boundaries land on buddy-block multiples
+    for start, _ in ranges[1:]:
+        assert start % 1024 == 0
+
+
+def test_remote_penalty_defaults_to_2x():
+    topo = NumaTopology(nodes=2)
+    assert topo.remote_penalty(0, 0) == 1.0
+    assert topo.remote_penalty(0, 1) == 2.0
+
+
+# --------------------------------------------------------------------- #
+# placement: mempolicies drive where faults land                         #
+# --------------------------------------------------------------------- #
+
+
+def run_compute(nodes, mempolicy=None, balance=False, replicated=False,
+                policy="hawkeye-g"):
+    kernel = make_kernel(24 * GB, policy, SCALE, numa_nodes=nodes,
+                         numa_balance=balance, replicated_pt=replicated)
+    wl = ComputeWorkload("numa-unit", 2 * GB, work_us=30e6,
+                         access_rate=20.0, scale=SCALE.factor)
+    run = kernel.spawn(wl, node=0, mempolicy=mempolicy)
+    kernel.run(max_epochs=600)
+    assert run.finished
+    return kernel, run.proc
+
+
+def test_local_policy_faults_on_home_node():
+    kernel, proc = run_compute(2)
+    ns = procfs.numastat(kernel)
+    assert ns["numa_nodes"] == 2
+    # everything the process touched sits on its home node
+    assert ns["node1_allocated_pages"] == 0
+    assert ns["node0_numa_hit"] > 0
+    assert ns["node0_numa_miss"] == 0
+
+
+def test_interleave_policy_spreads_pages():
+    kernel, proc = run_compute(
+        2, mempolicy=MemPolicy(MemPolicyKind.INTERLEAVE))
+    ns = procfs.numastat(kernel)
+    assert ns["node0_allocated_pages"] > 0
+    assert ns["node1_allocated_pages"] > 0
+    # interleave splits huge regions about evenly across both nodes
+    ratio = ns["node0_allocated_pages"] / max(1, ns["node1_allocated_pages"])
+    assert 0.5 < ratio < 2.0
+
+
+def test_bind_policy_is_strict():
+    kernel, proc = run_compute(
+        2, mempolicy=MemPolicy(MemPolicyKind.BIND, node=1))
+    ns = procfs.numastat(kernel)
+    # every process page landed on node 1, none spilled
+    assert ns["node1_numa_hit"] > 0
+    assert ns["node1_numa_foreign"] == 0
+
+
+def test_numa_maps_reports_policy_and_placement():
+    kernel, proc = run_compute(
+        2, mempolicy=MemPolicy(MemPolicyKind.INTERLEAVE))
+    rows = procfs.numa_maps(kernel, proc)
+    assert rows, "process has at least one VMA"
+    total = 0
+    for row in rows:
+        assert row["policy"] == "interleave"
+        total += row["node0_pages"] + row["node1_pages"]
+    assert total == proc.rss_pages()
+
+
+def test_balancing_migrates_interleaved_pages_home():
+    kernel, proc = run_compute(
+        2, mempolicy=MemPolicy(MemPolicyKind.INTERLEAVE), balance=True)
+    assert proc.stats.remote_walk_cycles >= 0
+    ns = procfs.numastat(kernel)
+    migrated = ns["numa_pages_migrated"]
+    assert migrated > 0
+    assert ns["numa_hint_faults"] > 0
+    # after balancing, the home node holds more than the remote one
+    assert ns["node0_allocated_pages"] > ns["node1_allocated_pages"]
+
+
+def test_replicated_pt_suppresses_remote_walks_and_costs_memory():
+    kernel, proc = run_compute(
+        2, mempolicy=MemPolicy(MemPolicyKind.INTERLEAVE), replicated=True)
+    assert kernel.numa.remote_walk_share() == 0.0
+    ns = procfs.numastat(kernel)
+    assert ns["numa_pt_replica_pages"] > 0
+
+
+def test_single_node_numastat_shape():
+    kernel = make_kernel(24 * GB, "hawkeye-g", SCALE)
+    ns = procfs.numastat(kernel)
+    assert ns["numa_nodes"] == 1
+    assert ns["node0_total_pages"] == kernel.buddy.total_pages
+    assert ns["numa_pages_migrated"] == 0
+    assert ns["numa_pt_replica_pages"] == 0

@@ -291,3 +291,25 @@ def test_smoke_cell_serial_vs_pooled_identical(tmp_path):
     assert _strip_timing(serial_env) == _strip_timing(pooled_env)
     # and a third, direct in-process execution agrees with both
     assert execute_cell(cell) == serial_env["result"]
+
+
+def test_numa_cell_serial_vs_pooled_identical(tmp_path):
+    """The 2-node knumad balancing cell must be deterministic across
+    workers too: hint-fault harvesting, candidate ordering and migration
+    all run off sorted kernel state, never ambient interpreter state."""
+    cell = Cell("numa", "balanced-2", "hawkeye-g")
+    serial_cache = ResultCache(tmp_path / "serial")
+    pooled_cache = ResultCache(tmp_path / "pooled")
+    serial = run_sweep([cell], jobs=1, cache=serial_cache)
+    pooled = run_sweep([cell], jobs=4, cache=pooled_cache)
+    assert serial.ok and pooled.ok
+    key = serial.outcomes[0].key
+    assert key == pooled.outcomes[0].key
+    serial_env = serial_cache.get(key)
+    pooled_env = pooled_cache.get(key)
+    assert _strip_timing(serial_env) == _strip_timing(pooled_env)
+    result = serial_env["result"]
+    # the cell did real balancing work (otherwise this proves nothing)
+    assert result["pages_migrated"] > 0
+    assert result["remote_walk_share"] < 0.5
+    assert execute_cell(cell) == result
