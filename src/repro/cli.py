@@ -135,21 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_p = sub.add_parser(
         "bench",
-        help="regenerate a paper table/figure, or run the touch microbenchmark",
+        help="regenerate a paper table/figure, or run a microbenchmark "
+             "(touch fault throughput, epoch engine throughput)",
     )
     bench_p.add_argument("target", nargs="?", default="touch",
-                         choices=sorted(BENCHES) + ["touch"],
-                         help="paper bench name, or 'touch' (default) for the "
-                              "fault-throughput microbenchmark")
+                         choices=sorted(BENCHES) + ["touch", "epoch"],
+                         help="paper bench name, 'touch' (default) for the "
+                              "fault-throughput microbenchmark, or 'epoch' "
+                              "for the vectorized epoch-engine benchmark")
     bench_p.add_argument("--profile", action="store_true",
                          help="print a cProfile hot-path report instead of timings")
     bench_p.add_argument("--json", action="store_true",
-                         help="emit the touch result as JSON (touch target only)")
+                         help="emit the result as JSON (touch/epoch targets only)")
     bench_p.add_argument("--check", metavar="BASELINE",
                          help="compare against a baseline JSON; exit 1 on >25%% "
-                              "regression of the batched/scalar speedup")
+                              "regression of the benchmark's speedup ratio")
     bench_p.add_argument("--update-baseline", metavar="BASELINE",
-                         help="write the touch result to a baseline JSON file")
+                         help="write the result to a baseline JSON file "
+                              "(touch/epoch targets only)")
 
     def trace_filters(p):
         p.add_argument("--kind", default=None,
@@ -425,6 +428,8 @@ def cmd_bench(args) -> int:
 
     if args.target == "touch":
         return _cmd_bench_touch(args)
+    if args.target == "epoch":
+        return _cmd_bench_epoch(args)
 
     bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
     target = bench_dir / BENCHES[args.target]
@@ -492,6 +497,46 @@ def _cmd_bench_touch(args) -> int:
         with open(args.check) as fh:
             baseline = json.load(fh)
         failures = perf.check_regression(result, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        # Keep stdout valid JSON under --json: status goes to stderr.
+        print(f"within tolerance of {args.check} "
+              f"(baseline speedup {baseline['speedup']:.2f}x)",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def _cmd_bench_epoch(args) -> int:
+    """The epoch-engine throughput benchmark with baseline check support."""
+    import json
+
+    from repro import perf
+
+    if args.check:
+        import os
+
+        if not os.path.exists(args.check):
+            print(f"baseline file not found: {args.check}", file=sys.stderr)
+            return 2
+    if args.profile:
+        print(perf.profile_epoch())
+        return 0
+    result = perf.epoch_benchmark()
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(perf.format_epoch_report(result))
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {args.update_baseline}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = perf.check_epoch_regression(result, baseline)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from repro.units import PAGES_PER_HUGE
 
 #: bucket width in access-coverage units (paper: 10 buckets over 0..512).
@@ -70,6 +72,42 @@ class AccessMap:
         old = self._bucket_of.pop(hvpn, None)
         if old is not None:
             del self.buckets[old][hvpn]
+
+    def update_many(self, hvpns: np.ndarray, coverages: np.ndarray) -> None:
+        """Bulk :meth:`update`: one vectorized bucket computation.
+
+        Equivalent to calling ``update(hvpn, coverage)`` pairwise in array
+        order — ``min``/truncate/divide happen as array ops, and the
+        remaining OrderedDict fixups only run for regions whose bucket
+        actually changed (the common case after an EMA refresh is *no*
+        move, which this detects without touching Python floats).
+        """
+        if coverages.size and bool((coverages < 0).any()):
+            bad = float(coverages[coverages < 0][0])
+            raise ValueError(f"coverage must be non-negative, got {bad}")
+        clipped = np.minimum(coverages, PAGES_PER_HUGE)
+        news = np.minimum(
+            clipped.astype(np.int64) // BUCKET_WIDTH, NUM_BUCKETS - 1)
+        bucket_of_ = self._bucket_of
+        buckets = self.buckets
+        for hvpn, new in zip(hvpns.tolist(), news.tolist()):
+            old = bucket_of_.get(hvpn)
+            if old == new:
+                continue
+            if old is not None:
+                del buckets[old][hvpn]
+            bucket = buckets[new]
+            if old is None or new > old:
+                bucket[hvpn] = None
+                bucket.move_to_end(hvpn, last=False)  # head
+            else:
+                bucket[hvpn] = None  # tail
+            bucket_of_[hvpn] = new
+
+    def remove_many(self, hvpns: np.ndarray) -> None:
+        """Bulk :meth:`remove` in array order."""
+        for hvpn in hvpns.tolist():
+            self.remove(hvpn)
 
     def highest_nonempty(self) -> int | None:
         """Index of the hottest non-empty bucket, or None when empty."""

@@ -144,7 +144,43 @@ class HawkEyePolicy(HugePagePolicy):
     NUMA_REMOTE_COVERAGE_PENALTY = 0.5
 
     def on_sample(self, proc: Process) -> None:
-        """Fresh access-bit sample: rebuild the process's access_map entries."""
+        """Fresh access-bit sample: rebuild the process's access_map entries.
+
+        The vectorized path computes the drop/keep partition, the
+        bloat-demoted clear and the NUMA coverage discount as array masks
+        over the region table, then applies them through the access_map's
+        bulk entry points.  Removals and updates touch *distinct* keys, so
+        splitting the scalar loop's interleaved remove/update sequence
+        into all-removals-then-all-updates (each in region order) leaves
+        every bucket's contents and internal order identical.
+        """
+        if not self.kernel.vectorized:
+            self._on_sample_scalar(proc)
+            return
+        amap = self.access_maps.setdefault(proc.pid, AccessMap())
+        table = proc.regions
+        if not len(table):
+            return
+        numa = self.kernel.numa
+        cross_node = numa is not None and not numa.replicated_pt
+        hvpns = table.hvpn_arr()
+        drop = table.is_huge_arr() | (table.resident_arr() == 0)
+        keep = ~drop
+        # Regions in use again may be re-promoted once pressure subsides.
+        bloat_demoted = table.bloat_demoted_arr()
+        bloat_demoted[keep & bloat_demoted
+                      & (table.last_coverage_arr() > 0)] = False
+        keep_hvpns = hvpns[keep]
+        coverage = table.coverage_ema_arr()[keep].copy()
+        if cross_node:
+            nodes = numa.region_nodes_arr(proc, keep_hvpns)
+            remote = (nodes >= 0) & (nodes != proc.home_node)
+            coverage[remote] *= self.NUMA_REMOTE_COVERAGE_PENALTY
+        amap.remove_many(hvpns[drop])
+        amap.update_many(keep_hvpns, coverage)
+
+    def _on_sample_scalar(self, proc: Process) -> None:
+        """Reference sample pass: per-region dict work, one update each."""
         amap = self.access_maps.setdefault(proc.pid, AccessMap())
         numa = self.kernel.numa
         cross_node = numa is not None and not numa.replicated_pt

@@ -417,6 +417,7 @@ def _cow_break_shared(kernel: "Kernel", proc: Process, vpn: int) -> float:
     pte.frame = frame
     pte.shared_cow = False
     pte.dirty = True
+    proc.page_table.sync_pte(vpn, pte)
     kernel.rmap_add(frame, proc, vpn)
     latency = kernel.costs.cow_fault_us
     proc.stats.faults += 1
@@ -442,6 +443,7 @@ def _cow_break(kernel: "Kernel", proc: Process, vpn: int) -> float:
     pte.shared_zero = False
     pte.dirty = True
     proc.page_table.shared_zero_count -= 1
+    proc.page_table.sync_pte(vpn, pte)
     kernel.rmap_add(frame, proc, vpn)
     kernel.zero_registry.cow_break()
     latency = kernel.costs.cow_fault_us

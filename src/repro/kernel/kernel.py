@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+import numpy as np
+
 from repro import trace
 from repro.errors import InvalidAddressError, OutOfMemoryError
 from repro.metrics import telemetry as telemetry_mod
@@ -47,7 +49,7 @@ from repro.numa.topology import NumaTopology
 from repro.tlb.mmu_model import MMUModel
 from repro.tlb.perf import PMUCounters
 from repro.tlb.tlb import TLBConfig
-from repro.units import PAGES_PER_HUGE, SEC, pages_of
+from repro.units import BASE_PAGE_SIZE, PAGES_PER_HUGE, SEC, pages_of
 from repro.vm.process import Process
 from repro.vm.vma import VMA, VMAKind
 
@@ -176,6 +178,11 @@ class Kernel:
         #: bulk fault fast path toggle (scalar-equivalent; off = per-page
         #: faults everywhere, used by the equivalence tests and perf A/B).
         self.batched_faults = True
+        #: vectorized epoch hot paths toggle (scalar-equivalent; off =
+        #: per-region Python loops for access sampling, access_map
+        #: ranking, WSS and NUMA candidate work — the equivalence tests
+        #: and the epoch bench A/B both flip this).
+        self.vectorized = True
         self._va_cursor: dict[int, int] = {}
         self._run_by_pid: dict[int, "WorkloadRun"] = {}
         zero_frame, _ = self.buddy.alloc(order=0, owner=KERNEL_OWNER)
@@ -233,21 +240,46 @@ class Kernel:
         """
         pt = proc.page_table
         freed = 0
-        for hvpn in list(pt.huge):
-            huge_pte = pt.unmap_huge(hvpn)
+        for huge_pte in list(pt.huge.values()):
             self._rmap_huge.pop(huge_pte.frame, None)
             self.buddy.free(huge_pte.frame, 9)
             freed += PAGES_PER_HUGE
-        for vpn in list(pt.base):
-            pte = pt.unmap_base(vpn)
+        # Base teardown, batched: frames still return to the buddy
+        # allocator in PTE-dict iteration order, with maximal runs of
+        # consecutive frames released via ``free_range`` (scalar-
+        # equivalent, see ``_unmap_base_batched``).  Shared pages flush
+        # the pending run first because ``cow_registry.unshare`` can free
+        # the canonical frame, which must keep its place in the sequence.
+        run_start = 0
+        run_len = 0
+        rmap = self._rmap
+        for pte in pt.base.values():
             if pte.shared_zero:
+                if run_len:
+                    self.buddy.free_range(run_start, run_len)
+                    freed += run_len
+                    run_len = 0
                 self.zero_registry.unshare()
             elif pte.shared_cow:
+                if run_len:
+                    self.buddy.free_range(run_start, run_len)
+                    freed += run_len
+                    run_len = 0
                 self.cow_registry.unshare(pte.frame)
             else:
-                self._rmap.pop(pte.frame, None)
-                self.buddy.free(pte.frame, 0)
-                freed += 1
+                rmap.pop(pte.frame, None)
+                if run_len and pte.frame == run_start + run_len:
+                    run_len += 1
+                else:
+                    if run_len:
+                        self.buddy.free_range(run_start, run_len)
+                        freed += run_len
+                    run_start = pte.frame
+                    run_len = 1
+        if run_len:
+            self.buddy.free_range(run_start, run_len)
+            freed += run_len
+        pt.clear()
         if self.swap is not None:
             self.swap.swapped = {
                 (pid, vpn) for pid, vpn in self.swap.swapped if pid != proc.pid
@@ -403,8 +435,8 @@ class Kernel:
                 if nxt is None or nxt.frame != frame0 + n or not nxt.private:
                     break
                 n += 1
+            pt.unmap_base_run_private(page, n)
             for i in range(n):
-                del base[page + i]
                 rmap.pop(frame0 + i, None)
             self.buddy.free_range(frame0, n)
             proc.region(page >> 9).resident -= n
@@ -552,6 +584,7 @@ class Kernel:
         if pte is None or pte.frame != old:
             return False
         pte.frame = new
+        proc.page_table.sync_pte(vpn, pte)
         self._rmap[new] = (proc, vpn)
         return True
 
@@ -588,7 +621,7 @@ class Kernel:
         vpn0 = hvpn << 9
         region = proc.region(hvpn)
         base_vpns = pt.region_base_vpns(hvpn)
-        in_place = self._contiguous_block(pt, vpn0, base_vpns)
+        in_place = pt.contiguous_private_block(vpn0)
 
         if in_place is not None:
             for vpn in base_vpns:
@@ -642,21 +675,6 @@ class Kernel:
             tp.emit(kind, proc.name, cost, hvpn)
         return cost
 
-    @staticmethod
-    def _contiguous_block(pt, vpn0: int, base_vpns: list[int]) -> int | None:
-        """Start frame when the region's 512 pages form an aligned block."""
-        if len(base_vpns) != PAGES_PER_HUGE:
-            return None
-        first = pt.base[vpn0]
-        if not first.private or first.frame % PAGES_PER_HUGE != 0:
-            return None
-        block = first.frame
-        for vpn in base_vpns:
-            pte = pt.base[vpn]
-            if not pte.private or pte.frame != block + (vpn - vpn0):
-                return None
-        return block
-
     def demote_region(self, proc: Process, hvpn: int) -> float:
         """Break a huge mapping into base mappings over the same frames."""
         pt = proc.page_table
@@ -683,19 +701,27 @@ class Kernel:
         """
         pt = proc.page_table
         recovered = 0
-        scanned = 0
-        for vpn in pt.region_base_vpns(hvpn):
-            pte = pt.base[vpn]
-            if not pte.private:
-                continue
-            scanned += self.frames.scan_cost_bytes(pte.frame)
-            if not self.frames.is_zero(pte.frame):
-                continue
-            self._rmap.pop(pte.frame, None)
-            self.buddy.free(pte.frame, 0)
-            pte.frame = self.zero_registry.zero_frame
+        vpn0 = hvpn << 9
+        mframes, mpriv = pt.region_mirror(hvpn)
+        priv_off = np.nonzero(mpriv)[0]
+        pframes = mframes[priv_off]
+        fnz = self.frames.first_nonzero[pframes]
+        # Scan cost per private page: first_nonzero + 1 bytes, or the
+        # full page when it is genuinely zero (same ints as the scalar
+        # per-page ``scan_cost_bytes`` sum).
+        scanned = int(np.where(fnz < 0, BASE_PAGE_SIZE, fnz + 1).sum())
+        zero_frame = self.zero_registry.zero_frame
+        base = pt.base
+        is_zero = fnz < 0
+        for off, frame in zip(priv_off[is_zero].tolist(), pframes[is_zero].tolist()):
+            vpn = vpn0 + off
+            pte = base[vpn]
+            self._rmap.pop(frame, None)
+            self.buddy.free(frame, 0)
+            pte.frame = zero_frame
             pte.shared_zero = True
             pt.shared_zero_count += 1
+            pt.sync_pte(vpn, pte)
             self.zero_registry.share()
             recovered += 1
         self.stats.bloat_pages_recovered += recovered
@@ -784,7 +810,56 @@ class Kernel:
 
         Ground-truth coverage comes from the workload's access profile —
         the simulator's stand-in for reading hardware-set PTE bits — but
-        the scan *cost* is still charged per region."""
+        the scan *cost* is still charged per region.  The default path is
+        one vectorized pass over each process's region table
+        (bit-identical to the scalar reference, which ``vectorized =
+        False`` restores)."""
+        if not self.vectorized:
+            self._sample_access_bits_scalar()
+            return
+        alpha = self.config.ema_alpha
+        for proc in self.processes:
+            table = proc.regions
+            n = len(table)
+            scanned = 0
+            if n:
+                active = table.resident_arr() > 0
+                scanned = int(active.sum())
+            if scanned:
+                profile = proc.access_profile
+                hvpns = table.hvpn_arr()
+                if profile is None:
+                    samples = np.zeros(n, dtype=np.int64)
+                else:
+                    cov_arr = getattr(profile, "coverage_array", None)
+                    if cov_arr is not None:
+                        samples = cov_arr(self, proc, hvpns)
+                    else:
+                        # Duck-typed profiles (virt host mirrors) only
+                        # provide the dict form.
+                        coverage = profile.region_coverage(self, proc)
+                        samples = np.fromiter(
+                            (coverage.get(int(h), 0) for h in hvpns),
+                            dtype=np.int64, count=n,
+                        )
+                np.minimum(samples, PAGES_PER_HUGE, out=samples)
+                # Same float expression as the scalar loop, elementwise in
+                # float64: alpha * sample + (1 - alpha) * ema.
+                ema = table.coverage_ema_arr()
+                table.last_coverage_arr()[active] = samples[active]
+                table.idle_arr()[active] = samples[active] == 0
+                ema[active] = alpha * samples[active] + (1.0 - alpha) * ema[active]
+            self.stats.sampler_cpu_us += scanned * self.costs.sample_region_us
+            if trace.enabled and (tp := self.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.KTHREAD_EPOCH, "ksampled",
+                        scanned * self.costs.sample_region_us,
+                        detail=f"proc={proc.name} regions={scanned}")
+            self.policy.on_sample(proc)
+            if self.numa is not None:
+                self.numa.on_sample(proc)
+
+    def _sample_access_bits_scalar(self) -> None:
+        """Scalar reference for :meth:`_sample_access_bits` (per-region loop)."""
         alpha = self.config.ema_alpha
         for proc in self.processes:
             profile = proc.access_profile

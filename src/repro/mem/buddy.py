@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import AllocationError
 from repro.mem.frames import NO_OWNER, FrameTable
 from repro.units import MAX_ORDER
@@ -61,13 +63,26 @@ class BuddyAllocator:
         self._seed_free_lists()
 
     def _seed_free_lists(self) -> None:
-        """Carve the managed frame range into maximal aligned free blocks."""
+        """Carve the managed frame range into maximal aligned free blocks.
+
+        One prefix-sum over the range classifies every seeded block's
+        zero-ness in O(1) instead of one ``zero_mask().all()`` scan per
+        block.
+        """
         start, end = self.start, self.end
+        if start >= end:
+            return
+        base = start
+        nonzero = self.frames.first_nonzero[start:end] >= 0
+        csum = np.zeros(end - start + 1, dtype=np.int64)
+        np.cumsum(nonzero, out=csum[1:])
         while start < end:
             order = self.max_order
             while order > 0 and (start % (1 << order) != 0 or start + (1 << order) > end):
                 order -= 1
-            self._insert(start, order)
+            lo = start - base
+            self._insert(start, order,
+                         zeroed=bool(csum[lo + (1 << order)] == csum[lo]))
             start += 1 << order
 
     # ------------------------------------------------------------------ #
@@ -79,8 +94,12 @@ class BuddyAllocator:
             return self.frames.first_nonzero[start] < 0
         return bool(self.frames.zero_mask(start, 1 << order).all())
 
-    def _insert(self, start: int, order: int) -> None:
-        lists = self._zero if self._block_is_zero(start, order) else self._nonzero
+    def _insert(self, start: int, order: int, zeroed: bool | None = None) -> None:
+        # Callers that already know the block's zero-ness (zero-list
+        # invariant, prefix sums, coalescing) pass it to skip the scan.
+        if zeroed is None:
+            zeroed = self._block_is_zero(start, order)
+        lists = self._zero if zeroed else self._nonzero
         lists[order][start] = None
         self._block_order[start] = order
         self.free_pages += 1 << order
@@ -125,13 +144,28 @@ class BuddyAllocator:
                 if popped is None:
                     continue
                 start, _ = popped
-                # Split excess halves back onto the free lists; each
-                # half's zero-ness is recomputed from content so the
-                # lists stay exact.
-                while have > order:
-                    have -= 1
-                    self._insert(start + (1 << have), have)
-                zeroed = self._block_is_zero(start, order)
+                # Split excess halves back onto the free lists.  A block
+                # off a zero list is all-zero, so every half is too; a
+                # dirty block's halves are classified off one scan of its
+                # nonzero positions instead of one scan per level.
+                if want_zeroed:
+                    while have > order:
+                        have -= 1
+                        self._insert(start + (1 << have), have, zeroed=True)
+                    zeroed = True
+                elif have > order:
+                    nz = np.nonzero(
+                        self.frames.first_nonzero[start:start + (1 << have)]
+                        >= 0)[0]
+                    while have > order:
+                        have -= 1
+                        half = 1 << have
+                        lo = np.searchsorted(nz, half)
+                        hi = np.searchsorted(nz, 2 * half)
+                        self._insert(start + half, have, zeroed=bool(lo == hi))
+                    zeroed = bool(nz.size == 0 or nz[0] >= (1 << order))
+                else:
+                    zeroed = self._block_is_zero(start, order)
                 self.frames.mark_allocated(start, 1 << order, owner)
                 return start, zeroed
         return None
@@ -200,7 +234,9 @@ class BuddyAllocator:
                         o = 0
                         while s % (1 << (o + 1)) == 0 and s + (1 << (o + 1)) <= end:
                             o += 1
-                        self._insert(s, o)
+                        # content-uniform block: the tail keeps the
+                        # popped list's zero-ness
+                        self._insert(s, o, zeroed=want_zeroed)
                         s += 1 << o
                 return start, take, want_zeroed
         return None
@@ -247,14 +283,22 @@ class BuddyAllocator:
         """Insert an (already frame-table-free) block, coalescing buddies.
 
         Returns the final coalesced order."""
+        return self._coalesce_insert(
+            start, order, self._block_is_zero(start, order))
+
+    def _coalesce_insert(self, start: int, order: int, zeroed: bool) -> int:
+        # A merged block is zero iff both halves are, and a free buddy's
+        # zero-ness is encoded by which list it sits on — so coalescing
+        # never re-scans frame content.
         while order < self.max_order:
             buddy = start ^ (1 << order)
             if self._block_order.get(buddy) != order:
                 break
+            zeroed = zeroed and buddy in self._zero[order]
             self._remove(buddy, order)
             start = min(start, buddy)
             order += 1
-        self._insert(start, order)
+        self._insert(start, order, zeroed=zeroed)
         return order
 
     def carve_range(self, lo: int, hi: int) -> list[tuple[int, int]]:
@@ -278,8 +322,36 @@ class BuddyAllocator:
         return carved
 
     def free_range(self, start: int, count: int) -> None:
-        """Free an arbitrary page range, decomposed into maximal buddy blocks."""
+        """Free an arbitrary page range, decomposed into maximal buddy blocks.
+
+        Batched bookkeeping: one double-free validation, one
+        ``mark_free`` and one zero-ness prefix-sum cover the whole range,
+        then each maximal block goes straight into the coalescing insert.
+        Free-list contents and dict order end up identical to per-block
+        :meth:`free` calls.
+        """
+        if count <= 0:
+            return
         end = start + count
+        if not bool(self.frames.allocated[start:end].all()):
+            # Replay the scalar path so a double free raises on exactly
+            # the same block, with earlier blocks already freed.
+            while start < end:
+                order = 0
+                while (
+                    order < self.max_order
+                    and start % (1 << (order + 1)) == 0
+                    and start + (1 << (order + 1)) <= end
+                ):
+                    order += 1
+                self.free(start, order)
+                start += 1 << order
+            return
+        base = start
+        self.frames.mark_free(start, count)
+        nonzero = self.frames.first_nonzero[start:end] >= 0
+        csum = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(nonzero, out=csum[1:])
         while start < end:
             order = 0
             while (
@@ -288,7 +360,9 @@ class BuddyAllocator:
                 and start + (1 << (order + 1)) <= end
             ):
                 order += 1
-            self.free(start, order)
+            lo = start - base
+            self._coalesce_insert(
+                start, order, bool(csum[lo + (1 << order)] == csum[lo]))
             start += 1 << order
 
     # ------------------------------------------------------------------ #
@@ -313,7 +387,7 @@ class BuddyAllocator:
     def reinsert_zeroed(self, start: int, order: int) -> None:
         """Put back a block whose frames were just zero-filled."""
         self.frames.zero_fill(start, 1 << order)
-        self._insert(start, order)
+        self._insert(start, order, zeroed=True)
 
     def reinsert_dirty(self, start: int, order: int) -> None:
         """Put back a popped block untouched (pre-zero budget ran out)."""

@@ -158,6 +158,7 @@ class SamePageMerger:
             pte.frame = kernel.zero_registry.zero_frame
             pte.shared_zero = True
             proc.page_table.shared_zero_count += 1
+            proc.page_table.sync_pte(vpn, pte)
             kernel.zero_registry.share()
             return 1
 
@@ -185,11 +186,13 @@ class SamePageMerger:
                 return 0
             self.registry.make_canonical(canonical, tag)
             owner_pte.shared_cow = True
+            owner_proc.page_table.sync_pte(owner_vpn, owner_pte)
         # merge this page into the canonical
         kernel._rmap.pop(frame, None)
         kernel.buddy.free(frame, 0)
         pte.frame = canonical
         pte.shared_cow = True
+        proc.page_table.sync_pte(vpn, pte)
         self.registry.share(canonical)
         self.registry.merges += 1
         return 1

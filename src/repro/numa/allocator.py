@@ -62,6 +62,10 @@ class NodeAllocator:
         """The node whose zone owns ``frame``."""
         return self.node_map.node_of(frame)
 
+    def node_of_arr(self, frames):
+        """Vectorized :meth:`node_of` over an array of frame numbers."""
+        return self.node_map.node_of_arr(frames)
+
     def zone(self, node: int) -> BuddyAllocator:
         """The buddy zone of one node."""
         return self.zones[node]

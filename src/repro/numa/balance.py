@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro import trace
 from repro.kernel.kthread import RateLimiter
 from repro.numa.allocator import NodeAllocator
@@ -62,6 +64,13 @@ class NumaState:
         #: remote page-walk cycles charged this epoch / since boot.
         self.remote_walk_cycles_epoch = 0.0
         self.remote_walk_cycles_total = 0.0
+        #: cached remote-penalty rows (same values topology.remote_penalty
+        #: recomputes from the SLIT matrix on every call).
+        matrix = self.topology.distance_matrix()
+        self._penalty = [
+            [matrix[src][dst] / matrix[src][src] for dst in range(self.nodes)]
+            for src in range(self.nodes)
+        ]
 
     # ------------------------------------------------------------------ #
     # placement                                                          #
@@ -96,29 +105,67 @@ class NumaState:
         huge_pte = pt.huge.get(hvpn)
         if huge_pte is not None:
             return self.node_of(huge_pte.frame)
-        vpn0 = hvpn << 9
-        base = pt.base
-        for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE):
-            pte = base.get(vpn)
-            if pte is not None and pte.private:
-                return self.node_of(pte.frame)
-        return None
+        mframes, mpriv = pt.region_mirror(hvpn)
+        priv = np.nonzero(mpriv)[0]
+        if priv.size == 0:
+            return None
+        return self.node_of(int(mframes[priv[0]]))
+
+    def region_nodes_arr(self, proc: "Process", hvpns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`region_node`: backing node per hvpn (-1 = none).
+
+        Huge regions resolve through the hvpn->frame mirror in one gather;
+        base regions take a fast path through column 0 (the region's first
+        page, private in the common dense layout) and fall back to a
+        per-region first-private scan only where that page is shared or
+        unmapped.
+        """
+        pt = proc.page_table
+        n = hvpns.shape[0]
+        out = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return out
+        mhuge = pt._mhuge
+        hcap = mhuge.shape[0]
+        in_cap = hvpns < hcap
+        hframes = np.where(in_cap, mhuge[np.minimum(hvpns, hcap - 1)], -1)
+        is_huge = hframes >= 0
+        if is_huge.any():
+            out[is_huge] = self.allocator.node_of_arr(hframes[is_huge])
+        rest = np.nonzero(~is_huge)[0]
+        if rest.size == 0:
+            return out
+        vpn0s = hvpns[rest] << 9
+        mframe, mpriv = pt._mframe, pt._mpriv
+        bcap = mframe.shape[0]
+        ok = vpn0s < bcap
+        safe = np.minimum(vpn0s, bcap - 1)
+        frame0 = np.where(ok, mframe[safe], -1)
+        priv0 = np.where(ok, mpriv[safe], False)
+        easy = rest[priv0]
+        if easy.size:
+            out[easy] = self.allocator.node_of_arr(frame0[priv0])
+        for i in rest[~priv0].tolist():
+            mframes, mp = pt.region_mirror(int(hvpns[i]))
+            priv = np.nonzero(mp)[0]
+            if priv.size:
+                out[i] = self.node_of(int(mframes[priv[0]]))
+        return out
 
     def region_node_counts(self, proc: "Process", hvpn: int) -> list[int]:
-        """Resident pages of a region per node (exact, O(512))."""
+        """Resident pages of a region per node (exact, one bincount)."""
         counts = [0] * self.nodes
         pt = proc.page_table
         huge_pte = pt.huge.get(hvpn)
         if huge_pte is not None:
             counts[self.node_of(huge_pte.frame)] = PAGES_PER_HUGE
             return counts
-        vpn0 = hvpn << 9
-        base = pt.base
-        for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE):
-            pte = base.get(vpn)
-            if pte is not None and pte.private:
-                counts[self.node_of(pte.frame)] += 1
-        return counts
+        mframes, mpriv = pt.region_mirror(hvpn)
+        frames = mframes[mpriv]
+        if frames.size == 0:
+            return counts
+        nodes = self.allocator.node_of_arr(frames)
+        return np.bincount(nodes, minlength=self.nodes).tolist()
 
     def majority_node(self, proc: "Process", hvpn: int) -> int:
         """The node holding most of a region's pages (promotion target)."""
@@ -153,16 +200,18 @@ class NumaState:
         if self.replicated_pt:
             return 0.0, 1.0
         home = proc.home_node
-        remote = 0
-        penalty = 0.0
-        for hvpn in hvpns:
-            node = self.region_node(proc, hvpn)
-            if node is None or node == home:
-                continue
-            remote += 1
-            penalty += self.topology.remote_penalty(home, node)
+        nodes = self.region_nodes_arr(
+            proc, np.fromiter(hvpns, dtype=np.int64))
+        mask = (nodes >= 0) & (nodes != home)
+        remote = int(mask.sum())
         if remote == 0:
             return 0.0, 1.0
+        # Sequential adds (not np.sum) keep the float result bit-identical
+        # to the scalar accumulation for custom SLIT matrices.
+        penalty = 0.0
+        row = self._penalty[home]
+        for node in nodes[mask].tolist():
+            penalty += row[node]
         return remote / len(hvpns), penalty / remote
 
     # ------------------------------------------------------------------ #
@@ -212,6 +261,22 @@ class NumaState:
             key: ema for key, ema in self._candidates.items() if key[0] != pid
         }
         hints = 0
+        if kernel.vectorized:
+            hints = self._harvest_vectorized(proc)
+        else:
+            hints = self._harvest_scalar(proc)
+        if hints:
+            cost = hints * kernel.costs.numa_hint_fault_us
+            kernel.stats.numa_hint_faults += hints
+            proc.fault_time_epoch_us += cost
+            if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
+                tp.emit(trace.TraceKind.NUMA_HINT, proc.name, cost,
+                        detail=f"faults={hints}")
+
+    def _harvest_scalar(self, proc: "Process") -> int:
+        """Reference candidate harvest: one region_node call per region."""
+        pid = proc.pid
+        hints = 0
         for hvpn in sorted(proc.regions):
             region = proc.regions[hvpn]
             if region.resident == 0 or region.last_coverage == 0:
@@ -225,13 +290,43 @@ class NumaState:
                 continue
             hints += region.last_coverage
             self._candidates[(pid, hvpn)] = region.coverage_ema
-        if hints:
-            cost = hints * kernel.costs.numa_hint_fault_us
-            kernel.stats.numa_hint_faults += hints
-            proc.fault_time_epoch_us += cost
-            if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
-                tp.emit(trace.TraceKind.NUMA_HINT, proc.name, cost,
-                        detail=f"faults={hints}")
+        return hints
+
+    def _harvest_vectorized(self, proc: "Process") -> int:
+        """Vectorized harvest: mask prefilter + bulk node gather.
+
+        Equivalent to :meth:`_harvest_scalar` — the active/remote masks
+        and the ascending-hvpn walk reproduce the same candidate set, the
+        same EMA values, and the same hint count; only the strict-policy
+        check (a VMA-tree probe) stays per-region, and only for regions
+        that survived the masks.
+        """
+        pid = proc.pid
+        table = proc.regions
+        if not len(table):
+            return 0
+        hvpns = table.hvpn_arr()
+        mask = (table.resident_arr() > 0) & (table.last_coverage_arr() > 0)
+        if not mask.any():
+            return 0
+        sel = hvpns[mask]
+        order = np.argsort(sel, kind="stable")
+        sel = sel[order]
+        emas = table.coverage_ema_arr()[mask][order]
+        lasts = table.last_coverage_arr()[mask][order]
+        nodes = self.region_nodes_arr(proc, sel)
+        remote = (nodes >= 0) & (nodes != proc.home_node)
+        hints = 0
+        for hvpn, last, ema in zip(sel[remote].tolist(),
+                                   lasts[remote].tolist(),
+                                   emas[remote].tolist()):
+            policy = self.resolve_policy(
+                proc, proc.vmas.try_find(hvpn << 9))
+            if policy is not None and policy.strict:
+                continue  # bound memory must not be balanced away
+            hints += last
+            self._candidates[(pid, hvpn)] = ema
+        return hints
 
     # ------------------------------------------------------------------ #
     # the epoch tick: remote-walk emission + knumad migration            #
@@ -333,6 +428,7 @@ class NumaState:
         frames.content_tag[new:new + PAGES_PER_HUGE] = \
             frames.content_tag[old:old + PAGES_PER_HUGE]
         pt.huge[hvpn].frame = new
+        pt.sync_huge(hvpn, pt.huge[hvpn])
         kernel._rmap_huge.pop(old, None)
         kernel.rmap_add_huge(new, proc, hvpn)
         kernel.buddy.free(old, 9)
@@ -348,16 +444,15 @@ class NumaState:
         """Page-wise migration of a base-mapped region toward ``target``."""
         kernel = self.kernel
         frames = kernel.frames
-        base = proc.page_table.base
-        vpn0 = hvpn << 9
         moved = 0
-        for vpn in range(vpn0, vpn0 + PAGES_PER_HUGE):
-            pte = base.get(vpn)
-            if pte is None or not pte.private:
-                continue
-            old = pte.frame
-            if self.node_of(old) == target:
-                continue
+        # Bulk discovery off the mirror: only pages resident on the wrong
+        # node enter the migration loop (migrating one page never changes
+        # another page's frame or privacy, so the snapshot stays valid).
+        mframes, mpriv = proc.page_table.region_mirror(hvpn)
+        offs = np.nonzero(mpriv)[0]
+        olds = mframes[offs]
+        wrong = self.allocator.node_of_arr(olds) != target
+        for old in olds[wrong].tolist():
             if not self.knumad.take(1):
                 return moved, cost, True
             got = self.allocator.try_alloc(

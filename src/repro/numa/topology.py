@@ -13,6 +13,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.units import MAX_ORDER
 
 #: SLIT distance of a node to itself.
@@ -136,7 +138,12 @@ class NodeMap:
         self.topology = topology
         self.ranges = topology.node_ranges(num_frames)
         self._starts = [start for start, _ in self.ranges]
+        self._starts_arr = np.asarray(self._starts, dtype=np.int64)
 
     def node_of(self, frame: int) -> int:
         """The node whose frame range contains ``frame``."""
         return bisect.bisect_right(self._starts, frame) - 1
+
+    def node_of_arr(self, frames: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`node_of` over an array of frame numbers."""
+        return np.searchsorted(self._starts_arr, frames, side="right") - 1

@@ -27,8 +27,16 @@ import time
 from repro import trace
 from repro.experiments import POLICIES, Scale, make_kernel, reset_sim_state
 from repro.metrics import telemetry
-from repro.units import GB, MB
-from repro.workloads.base import ContentSpec, FreeOp, Phase, TouchOp, Workload
+from repro.units import GB, MB, PAGES_PER_HUGE, SEC
+from repro.workloads.base import (
+    AccessProfile,
+    ContentSpec,
+    FreeOp,
+    Phase,
+    RegionAccessSpec,
+    TouchOp,
+    Workload,
+)
 
 #: pages in the microbenchmark's touch region (256 MiB effective).
 TOUCH_PAGES = 256 * MB // 4096
@@ -201,6 +209,239 @@ def check_regression(result: dict, baseline: dict, tolerance: float = 0.25) -> l
             "near-free when not emitting)"
         )
     return failures
+
+
+# ---------------------------------------------------------------------- #
+# epoch-engine throughput                                                 #
+# ---------------------------------------------------------------------- #
+
+#: huge regions the epoch microbenchmark keeps under sampling.
+EPOCH_REGIONS = 2048
+#: sampled epochs timed per measurement.
+EPOCH_EPOCHS = 200
+#: hard floor on the vectorized/scalar epoch speedup (machine-neutral).
+EPOCH_SPEEDUP_FLOOR = 3.0
+
+
+class _EpochBench(Workload):
+    """Sparse grow + long serve — the sampler/ranker-dominated shape.
+
+    ``stride_pages=512`` faults exactly one base page per huge region, so
+    thousands of regions become access-bit-scan, EMA and access_map work
+    without the fault cost of populating them densely.  The serve phase's
+    profile keeps half the regions hot at high coverage and a quarter at
+    low coverage, so every sample exercises EMA updates, idle marking and
+    cross-bucket access_map churn.
+    """
+
+    name = "epoch-bench"
+
+    def __init__(self, regions: int, serve_us: float):
+        self.regions = regions
+        self.serve_us = serve_us
+
+    def build_phases(self) -> list[Phase]:
+        """One sparse grow op, then a profiled serve phase."""
+        profile = AccessProfile(specs=[
+            RegionAccessSpec("heap", coverage=180, hot_start=0.0, hot_len=0.5),
+            RegionAccessSpec("heap", coverage=40, hot_start=0.5, hot_len=0.25),
+        ])
+        return [
+            Phase("grow", ops=[
+                TouchOp("heap", npages=self.regions * PAGES_PER_HUGE,
+                        stride_pages=PAGES_PER_HUGE),
+            ]),
+            Phase("serve", duration_us=self.serve_us, profile=profile),
+        ]
+
+    def mmap_bytes(self) -> int:
+        """Virtual span: one huge region per sampled region."""
+        return self.regions * PAGES_PER_HUGE * 4096
+
+
+def _epoch_setup(policy: str, regions: int, serve_epochs: int,
+                 vectorized: bool):
+    """Build a kernel and drive the bench workload to its serve phase.
+
+    ``epoch_us`` is set to the 30 s sampling interval so *every* epoch
+    runs the access-bit sampler — the serve phase then measures the epoch
+    engine, not idle wall-time bookkeeping.
+    """
+    reset_sim_state()
+    scale = Scale(1 / 128)
+    epoch_us = 30 * SEC
+    kernel = make_kernel(
+        2 * regions * PAGES_PER_HUGE * 4096 / scale.factor,
+        policy, scale, epoch_us=epoch_us)
+    kernel.vectorized = vectorized
+    bench = _EpochBench(regions, (serve_epochs + 4) * epoch_us)
+    run = kernel.spawn(bench)
+    kernel.mmap(run.proc, bench.mmap_bytes(), "heap")
+    guard = 0
+    while not run.finished and run.phase_name() != "serve":
+        kernel.run_epochs(1)
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("epoch benchmark never reached its serve phase")
+    return kernel, run
+
+
+def _run_epoch_once(policy: str, regions: int, epochs: int, vectorized: bool,
+                    trace_mode: str = "off") -> float:
+    """One timed serve-phase measurement; returns wall seconds.
+
+    ``trace_mode`` mirrors :func:`_run_once`: ``"off"`` (bare),
+    ``"disabled"`` (tracer + sampler attached but gated off) or ``"on"``.
+    """
+    kernel, _run = _epoch_setup(policy, regions, epochs, vectorized)
+    if trace_mode != "off":
+        tracer = trace.attach(kernel)
+        tracer.enabled = trace_mode == "on"
+        sampler = telemetry.attach(kernel)
+        sampler.enabled = trace_mode == "on"
+    try:
+        t0 = time.perf_counter()
+        kernel.run_epochs(epochs)
+        return time.perf_counter() - t0
+    finally:
+        if trace_mode != "off":
+            trace.detach(kernel)
+            telemetry.detach(kernel)
+
+
+def _scan_speedup(policy: str, regions: int, iters: int = 30) -> float:
+    """Scalar/vectorized ratio of the access-bit scan pass in isolation.
+
+    Times repeated ``_sample_access_bits`` calls (which include the
+    policy's on_sample ranking) on one prepared kernel, per mode, after a
+    warm-up call each.
+    """
+    kernel, _run = _epoch_setup(policy, regions, serve_epochs=4,
+                                vectorized=True)
+    timings = {}
+    for vectorized in (False, True):
+        kernel.vectorized = vectorized
+        kernel._sample_access_bits()  # warm caches / allocator state
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                kernel._sample_access_bits()
+            timings[vectorized] = time.perf_counter() - t0
+        finally:
+            gc.enable()
+    return timings[False] / timings[True]
+
+
+def epoch_benchmark(
+    policy: str = "hawkeye-4kb", regions: int = EPOCH_REGIONS,
+    epochs: int = EPOCH_EPOCHS, repeats: int = 3,
+) -> dict:
+    """Epoch-engine throughput, vectorized vs forced-scalar.
+
+    The default policy is HawkEye with huge faults off, which keeps every
+    region base-mapped: the sampler, EMA ranking and access_map churn
+    stay maximal instead of collapsing once regions are promoted.
+    Returns a JSON-friendly dict with best-of-``repeats`` wall times, the
+    derived epochs/second, the vectorized/scalar speedup, the isolated
+    access-scan speedup, and the disabled-tracing overhead measured with
+    the same GC-paired A/B scheme as :func:`touch_benchmark`.
+    """
+    scalar_s = min(
+        _run_epoch_once(policy, regions, epochs, vectorized=False)
+        for _ in range(repeats))
+    vector_times, overhead_ratios = [], []
+    for i in range(2 * max(repeats, 4)):
+        gc.collect()
+        gc.disable()
+        try:
+            if i % 2 == 0:
+                v = _run_epoch_once(policy, regions, epochs, vectorized=True)
+                d = _run_epoch_once(policy, regions, epochs, vectorized=True,
+                                    trace_mode="disabled")
+            else:
+                d = _run_epoch_once(policy, regions, epochs, vectorized=True,
+                                    trace_mode="disabled")
+                v = _run_epoch_once(policy, regions, epochs, vectorized=True)
+        finally:
+            gc.enable()
+        vector_times.append(v)
+        overhead_ratios.append(d / v - 1.0)
+    vectorized_s = min(vector_times)
+    return {
+        "policy": policy,
+        "regions": regions,
+        "epochs": epochs,
+        "vectorized_s": round(vectorized_s, 4),
+        "scalar_s": round(scalar_s, 4),
+        "vectorized_epochs_per_s": round(epochs / vectorized_s),
+        "scalar_epochs_per_s": round(epochs / scalar_s),
+        "speedup": round(scalar_s / vectorized_s, 2),
+        "scan_speedup": round(_scan_speedup(policy, regions), 2),
+        "trace_overhead": round(statistics.median(overhead_ratios), 4),
+    }
+
+
+def format_epoch_report(result: dict) -> str:
+    """Human-readable rendering of an :func:`epoch_benchmark` result."""
+    return "\n".join([
+        f"epoch throughput ({result['policy']}, {result['regions']} regions"
+        f" x {result['epochs']} sampled epochs)",
+        f"  vectorized: {result['vectorized_s']:.3f}s"
+        f"  ({result['vectorized_epochs_per_s']:,} epochs/s)",
+        f"  scalar:     {result['scalar_s']:.3f}s"
+        f"  ({result['scalar_epochs_per_s']:,} epochs/s)",
+        f"  speedup: {result['speedup']:.2f}x"
+        f"  (access-scan alone: {result['scan_speedup']:.2f}x)",
+        f"  tracing disabled-overhead: {result['trace_overhead']:+.1%}",
+    ])
+
+
+def check_epoch_regression(result: dict, baseline: dict,
+                           tolerance: float = 0.25) -> list[str]:
+    """Gate an :func:`epoch_benchmark` result against its baseline.
+
+    Machine-neutral: the vectorized/scalar speedup must clear both the
+    hard :data:`EPOCH_SPEEDUP_FLOOR` and the baseline ratio minus
+    ``tolerance``, and the disabled-tracing overhead must stay under the
+    same <5 % ceiling the touch benchmark enforces.
+    """
+    failures = []
+    floor = max(EPOCH_SPEEDUP_FLOOR, baseline["speedup"] * (1 - tolerance))
+    if result["speedup"] < floor:
+        failures.append(
+            f"vectorized/scalar epoch speedup {result['speedup']:.2f}x fell "
+            f"below {floor:.2f}x (baseline {baseline['speedup']:.2f}x - "
+            f"{tolerance:.0%}, hard floor {EPOCH_SPEEDUP_FLOOR:.0f}x)"
+        )
+    scan_floor = baseline.get("scan_speedup", 0.0) * (1 - tolerance)
+    if result.get("scan_speedup", 0.0) < scan_floor:
+        failures.append(
+            f"access-scan speedup {result.get('scan_speedup', 0.0):.2f}x "
+            f"fell below {scan_floor:.2f}x "
+            f"(baseline {baseline['scan_speedup']:.2f}x - {tolerance:.0%})"
+        )
+    overhead = result.get("trace_overhead")
+    if overhead is not None and overhead >= TRACE_OVERHEAD_CEILING:
+        failures.append(
+            f"disabled-tracing overhead {overhead:+.1%} reached the "
+            f"{TRACE_OVERHEAD_CEILING:.0%} ceiling on the vectorized "
+            "epoch path"
+        )
+    return failures
+
+
+def profile_epoch(policy: str = "hawkeye-4kb", regions: int = EPOCH_REGIONS,
+                  epochs: int = EPOCH_EPOCHS, top: int = 25) -> str:
+    """Profile one vectorized run of the epoch microbenchmark."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}")
+    return profile_target(
+        lambda: _run_epoch_once(policy, regions, epochs, vectorized=True),
+        f"epoch microbenchmark ({policy})",
+        top,
+    )
 
 
 def profile_target(run, label: str, top: int = 25) -> str:

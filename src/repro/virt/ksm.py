@@ -105,6 +105,7 @@ class KSMThread:
             pte.frame = host.zero_registry.zero_frame
             pte.shared_zero = True
             pt.shared_zero_count += 1
+            pt.sync_pte(vpn0 + offset, pte)
             host.zero_registry.share()
             merged += 1
         return merged

@@ -3,7 +3,11 @@
 ``RegionInfo`` is the per-huge-region record every policy in the paper
 keys off: FreeBSD's ``population_map`` (residency), Ingens's
 ``access_bitvector`` (utilisation + idleness) and HawkEye's ``access_map``
-(EMA access-coverage) are all views over this structure (§3.3).
+(EMA access-coverage) are all views over this structure (§3.3).  Storage
+lives in :class:`repro.core.region_table.RegionTable` — parallel numpy
+arrays the epoch hot paths (access-bit sampling, EMA ranking, WSS) read
+as whole columns; ``RegionInfo`` is a per-slot proxy so scalar call
+sites keep the dict-of-records shape.
 
 Time accounting follows the execution model of the evaluation: a process
 retires its workload's *useful work* at a rate discounted by page-fault
@@ -14,43 +18,17 @@ promotion decisions exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.region_table import RegionInfo, RegionTable
 from repro.vm.page_table import PageTable
 from repro.vm.vma import VMAList
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workloads.base import AccessProfile
 
-
-@dataclass
-class RegionInfo:
-    """Metadata for one huge-page-sized virtual region of a process."""
-
-    hvpn: int
-    #: base pages faulted in (512 when huge-mapped).
-    resident: int = 0
-    is_huge: bool = False
-    #: exponential moving average of sampled access-coverage (0..512).
-    coverage_ema: float = 0.0
-    #: raw coverage from the most recent access-bit sample.
-    last_coverage: int = 0
-    #: Ingens idleness flag: no access observed in the last sample.  A
-    #: fresh region starts non-idle — it was just faulted, which *is* an
-    #: access; the 30 s sampler then keeps the flag current.
-    idle: bool = False
-    #: number of promotions this region has received (demote/re-promote).
-    promotions: int = 0
-    #: set when bloat recovery demoted this region; promotion engines skip
-    #: such regions while memory pressure persists (avoids thrash).
-    bloat_demoted: bool = False
-
-    def utilization(self) -> float:
-        """Fraction of the region's 512 base pages that are resident."""
-        from repro.units import PAGES_PER_HUGE
-
-        return self.resident / PAGES_PER_HUGE
+__all__ = ["Process", "ProcessStats", "RegionInfo", "RegionTable"]
 
 
 @dataclass
@@ -80,7 +58,7 @@ class Process:
         self.name = name
         self.page_table = PageTable()
         self.vmas = VMAList()
-        self.regions: dict[int, RegionInfo] = {}
+        self.regions: RegionTable = RegionTable()
         self.stats = ProcessStats()
         #: opaque access profile installed by the running workload phase.
         self.access_profile: Optional["AccessProfile"] = None
@@ -101,11 +79,7 @@ class Process:
 
     def region(self, hvpn: int) -> RegionInfo:
         """Get or create the metadata record for huge region ``hvpn``."""
-        info = self.regions.get(hvpn)
-        if info is None:
-            info = RegionInfo(hvpn)
-            self.regions[hvpn] = info
-        return info
+        return self.regions.get_or_create(hvpn)
 
     def rss_pages(self) -> int:
         """Resident set size in base pages (excludes shared-zero mappings)."""

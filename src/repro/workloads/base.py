@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.patterns import Pattern
 from repro.tlb.mmu_model import RegionLoad
 from repro.units import CYCLES_PER_USEC, PAGES_PER_HUGE, SEC
@@ -90,7 +92,7 @@ class AccessProfile:
             hvpns = spec.hot_hvpns(vma)
             if not hvpns:
                 continue
-            promoted = sum(1 for h in hvpns if h in proc.page_table.huge)
+            promoted = proc.page_table.huge_count_in_range(hvpns.start, hvpns.stop)
             remote_fraction, remote_penalty = (
                 numa.load_remoteness(proc, hvpns) if numa is not None
                 else (0.0, 1.0)
@@ -119,6 +121,27 @@ class AccessProfile:
             for hvpn in spec.hot_hvpns(vma):
                 coverage[hvpn] = max(coverage.get(hvpn, 0), spec.coverage)
         return coverage
+
+    def coverage_array(self, kernel: "Kernel", proc: Process,
+                       hvpns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`region_coverage` lookup over an hvpn array.
+
+        Returns the access-coverage sample for each requested region
+        (0 for regions outside every spec's hot range) — the same max
+        composition over specs as the dict form, computed with range
+        masks instead of per-region dict entries.
+        """
+        out = np.zeros(hvpns.shape[0], dtype=np.int64)
+        for spec in self.specs:
+            vma = _try_vma(proc, spec.region)
+            if vma is None:
+                continue
+            hot = spec.hot_hvpns(vma)
+            if not hot:
+                continue
+            mask = (hvpns >= hot.start) & (hvpns < hot.stop)
+            np.maximum(out, np.where(mask, spec.coverage, 0), out=out)
+        return out
 
 
 def _try_vma(proc: Process, name: str) -> VMA | None:

@@ -1,0 +1,198 @@
+"""Scalar-vs-vectorized equivalence of the epoch engine.
+
+The vectorized hot paths (``kernel.vectorized = True``, the default)
+promise *bit-identical* behaviour to the scalar reference loops they
+replaced.  A twin-kernel state machine drives two kernels — one
+vectorized, one forced scalar — through the same randomized sequence of
+faults, frees, promotions, demotions, profile changes and access-bit
+samples, and asserts after every step that
+
+* page-table translations (base and huge) are identical,
+* each page table's flat mirror arrays agree with its dicts,
+* region-table metadata (residency, EMAs, idle bits) is float-exact, and
+* every AccessMap bucket holds the same regions in the same order
+  (order encodes recency — the promotion engine consumes it head first).
+
+A directed NUMA test does the same for the hint-fault candidate harvest
+with an interleave mempolicy forcing half the regions remote.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.hawkeye import HawkEyePolicy
+from repro.experiments import reset_sim_state
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.numa.mempolicy import MemPolicy, MemPolicyKind
+from repro.numa.topology import NumaTopology
+from repro.tlb.perf import PMUCounters
+from repro.units import MB, PAGES_PER_HUGE, SEC
+from repro.vm.process import Process
+from repro.workloads.base import AccessProfile, RegionAccessSpec
+
+
+def _build(vectorized: bool, nodes: int = 1, balance: bool = False):
+    """One kernel + process + 16 MiB heap, base-mapped HawkEye."""
+    kernel = Kernel(
+        KernelConfig(
+            mem_bytes=32 * MB,
+            topology=NumaTopology(nodes=nodes),
+            knumad_pages_per_sec=1000.0 if balance else 0.0,
+        ),
+        lambda k: HawkEyePolicy(k, huge_faults=False, prezero_enabled=False),
+    )
+    kernel.vectorized = vectorized
+    proc = Process("prop")
+    kernel.processes.append(proc)
+    kernel.pmu[proc.pid] = PMUCounters()
+    vma = kernel.mmap(proc, 16 * MB, "heap")
+    return kernel, proc, vma
+
+
+class TwinMachine(RuleBasedStateMachine):
+    """Drive a vectorized and a scalar kernel through identical ops."""
+
+    def __init__(self):
+        super().__init__()
+        self.twins = [_build(True), _build(False)]
+
+    @rule(offset=st.integers(0, 4095))
+    def fault(self, offset):
+        for kernel, proc, vma in self.twins:
+            kernel.fault(proc, vma.start + offset)
+
+    @rule(offset=st.integers(0, 4000), npages=st.integers(1, 300))
+    def madvise(self, offset, npages):
+        for kernel, proc, vma in self.twins:
+            n = min(npages, vma.npages - offset)
+            kernel.madvise_free(proc, vma.start + offset, n)
+
+    @rule(region=st.integers(0, 7))
+    def promote(self, region):
+        for kernel, proc, vma in self.twins:
+            kernel.promote_region(proc, (vma.start >> 9) + region)
+
+    @rule(region=st.integers(0, 7))
+    def demote(self, region):
+        for kernel, proc, vma in self.twins:
+            hvpn = (vma.start >> 9) + region
+            if hvpn in proc.page_table.huge:
+                kernel.demote_region(proc, hvpn)
+
+    @rule(cov_hot=st.integers(0, 600), cov_cold=st.integers(0, 600),
+          hot_len=st.floats(0.1, 1.0), cold_start=st.floats(0.0, 0.9))
+    def set_profile(self, cov_hot, cov_cold, hot_len, cold_start):
+        """Swap the access profile both samplers read (covers >512 clip)."""
+        profile = AccessProfile(specs=[
+            RegionAccessSpec("heap", coverage=cov_hot, hot_len=hot_len),
+            RegionAccessSpec("heap", coverage=cov_cold,
+                             hot_start=cold_start, hot_len=0.3),
+        ])
+        for _kernel, proc, _vma in self.twins:
+            proc.access_profile = profile
+
+    @rule()
+    def sample(self):
+        for kernel, _proc, _vma in self.twins:
+            kernel._sample_access_bits()
+
+    # -- equivalence invariants ----------------------------------------- #
+
+    @invariant()
+    def translations_identical(self):
+        (_, p0, _), (_, p1, _) = self.twins
+        pt0, pt1 = p0.page_table, p1.page_table
+        assert {v: (e.frame, e.shared_zero, e.shared_cow)
+                for v, e in pt0.base.items()} == \
+               {v: (e.frame, e.shared_zero, e.shared_cow)
+                for v, e in pt1.base.items()}
+        assert {h: e.frame for h, e in pt0.huge.items()} == \
+               {h: e.frame for h, e in pt1.huge.items()}
+
+    @invariant()
+    def mirrors_match_dicts(self):
+        import numpy as np
+
+        for _kernel, proc, _vma in self.twins:
+            pt = proc.page_table
+            mapped = np.nonzero(pt._mframe >= 0)[0]
+            assert set(mapped.tolist()) == set(pt.base)
+            for vpn, pte in pt.base.items():
+                assert pt._mframe[vpn] == pte.frame
+                assert bool(pt._mpriv[vpn]) == pte.private
+            assert int(pt._mpriv.sum()) == sum(
+                1 for pte in pt.base.values() if pte.private)
+            hmapped = np.nonzero(pt._mhuge >= 0)[0]
+            assert set(hmapped.tolist()) == set(pt.huge)
+            for hvpn, pte in pt.huge.items():
+                assert pt._mhuge[hvpn] == pte.frame
+
+    @invariant()
+    def regions_identical(self):
+        (_, p0, _), (_, p1, _) = self.twins
+        assert list(p0.regions.keys()) == list(p1.regions.keys())
+        for hvpn in p0.regions.keys():
+            r0, r1 = p0.regions[hvpn], p1.regions[hvpn]
+            assert r0.resident == r1.resident
+            assert r0.is_huge == r1.is_huge
+            assert r0.coverage_ema == r1.coverage_ema  # float-exact
+            assert r0.last_coverage == r1.last_coverage
+            assert r0.idle == r1.idle
+            assert r0.bloat_demoted == r1.bloat_demoted
+
+    @invariant()
+    def access_maps_identical(self):
+        (k0, p0, _), (k1, p1, _) = self.twins
+        m0 = k0.policy.access_maps.get(p0.pid)
+        m1 = k1.policy.access_maps.get(p1.pid)
+        if m0 is None or m1 is None:
+            assert (m0 is None) == (m1 is None)
+            return
+        for b0, b1 in zip(m0.buckets, m1.buckets):
+            assert list(b0) == list(b1)  # contents AND order
+
+
+TwinMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)
+TestVectorizedEquivalence = TwinMachine.TestCase
+
+
+def _drive_numa(vectorized: bool):
+    """Interleaved placement + balancing: run samples, snapshot state."""
+    reset_sim_state()
+    kernel, proc, vma = _build(vectorized, nodes=2, balance=True)
+    proc.mempolicy = MemPolicy(kind=MemPolicyKind.INTERLEAVE)
+    for region in range(8):
+        for page in range(0, PAGES_PER_HUGE, 64):
+            kernel.fault(proc, vma.start + (region << 9) + page)
+    proc.access_profile = AccessProfile(specs=[
+        RegionAccessSpec("heap", coverage=200, hot_len=0.75),
+    ])
+    for _ in range(4):
+        kernel._sample_access_bits()
+        kernel.numa.on_epoch()
+        kernel.now_us += SEC
+    amap = kernel.policy.access_maps[proc.pid]
+    return {
+        "candidates": {h: ema for (_pid, h), ema
+                       in kernel.numa._candidates.items()},
+        "hint_faults": kernel.stats.numa_hint_faults,
+        "migrated": kernel.stats.numa_pages_migrated,
+        "buckets": [list(b) for b in amap.buckets],
+        "emas": [(h, proc.regions[h].coverage_ema) for h in proc.regions],
+        "counts": [kernel.numa.region_node_counts(proc, h)
+                   for h in proc.regions],
+    }
+
+
+def test_numa_harvest_vectorized_matches_scalar():
+    """Candidate set, EMAs (with the remote x0.5 discount), bucket order
+    and migration totals are identical across the two harvest paths."""
+    vec = _drive_numa(True)
+    scalar = _drive_numa(False)
+    assert vec == scalar
+    assert vec["hint_faults"] > 0  # the interleave actually went remote

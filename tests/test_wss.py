@@ -62,3 +62,25 @@ def test_belief_zero_within_tlb_reach():
 
     idle = Process("idle")
     assert wss_overhead_belief(kernel, idle) == 0.0
+
+
+def test_wss_vectorized_matches_scalar_exactly():
+    """The column-array gather must be bit-identical to the proxy sum.
+
+    Same values, same sequential addition order — ``==``, not approx.
+    """
+    kernel, rand, seq = run_pair(
+        RandomAccess(scale=SCALE.factor, work_us=1000 * SEC),
+        SequentialAccess(scale=SCALE.factor, work_us=1000 * SEC),
+    )
+    estimator = WSSEstimator(kernel)
+    for proc in (rand, seq):
+        assert kernel.vectorized
+        fast = estimator.wss_pages(proc)
+        kernel.vectorized = False
+        try:
+            slow = estimator.wss_pages(proc)
+        finally:
+            kernel.vectorized = True
+        assert fast == slow
+        assert fast > 0
