@@ -9,6 +9,9 @@ Examples::
     python -m repro trace run redis-fig1 --policy hawkeye-g --summary
     python -m repro trace view trace.jsonl --kind fault --summary
     python -m repro top xsbench --interval 30
+    python -m repro pagemap xsbench --region 16384
+    python -m repro why redis-fig1 --point promote --limit 10
+    python -m repro audit xsbench --json
     python -m repro numa --policy hawkeye-g --nodes 2
     python -m repro sweep run tab1 tab8 --jobs 4
     python -m repro sweep status
@@ -18,7 +21,11 @@ Examples::
 ``bench`` shells out to the pytest benchmark that regenerates a paper
 table or figure; ``trace`` records or replays the kernel tracepoint
 stream (JSONL, per-subsystem attribution, latency histograms); ``top``
-watches a run through periodic /proc-style snapshots; ``sweep`` drives
+watches a run through periodic /proc-style snapshots; ``pagemap`` /
+``why`` / ``audit`` run a workload with the decision-provenance audit
+attached and answer, respectively, *where is this memory and where did
+it come from*, *why did the policy (not) act on this region*, and *how
+did candidates funnel into actions*; ``sweep`` drives
 experiment grids through the cached, fanned-out sweep runner
 (``repro.runner``) with per-cell crash isolation and resume.
 """
@@ -229,6 +236,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach a tracer so the trace drop column is live")
     top_p.add_argument("--trace-capacity", type=int, default=None,
                        help="tracer ring-buffer capacity (with --trace)")
+    top_p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                       help="refresh the snapshot row in place, at most once "
+                            "per wall-clock SECONDS, instead of appending "
+                            "one row per interval")
+
+    pagemap_p = sub.add_parser(
+        "pagemap",
+        help="run a workload, then dump its regions with frame provenance "
+             "(a /proc/pid/pagemap + kpageflags + page_owner view)")
+    pagemap_p.add_argument("workload", choices=sorted(WORKLOADS))
+    common(pagemap_p)
+    pagemap_p.add_argument("--region", type=int, default=None, metavar="HVPN",
+                           help="expand this huge region frame by frame "
+                                "instead of the per-region table")
+    pagemap_p.add_argument("--limit", type=int, default=40,
+                           help="rows to print (default 40; 0 = all)")
+
+    why_p = sub.add_parser(
+        "why",
+        help="run a workload, then replay the recent policy decisions "
+             "for its regions with the exact numbers the policy compared")
+    why_p.add_argument("workload", choices=sorted(WORKLOADS))
+    common(why_p)
+    why_p.add_argument("--region", type=int, default=None, metavar="HVPN",
+                       help="only decisions scoped to this huge region")
+    why_p.add_argument("--point", default=None,
+                       choices=["promote", "collapse_node", "bloat",
+                                "knumad", "fault_size"],
+                       help="only decisions from this decision point")
+    why_p.add_argument("--limit", type=int, default=20,
+                       help="decisions to print, newest first (default 20)")
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="decision-funnel summary (candidates → eligible → "
+             "budget-passed → acted): live run, or aggregated from a "
+             "sweep cache when no workload is given")
+    audit_p.add_argument("workload", nargs="?", default=None,
+                         choices=sorted(WORKLOADS))
+    common(audit_p)
+    audit_p.add_argument("--cache-dir", default=None,
+                         help="sweep cache to aggregate captured decision "
+                              "audits from (without a workload)")
+    audit_p.add_argument("--json", action="store_true",
+                         help="emit the funnel and rejection breakdown "
+                              "as JSON")
 
     sweep_p = sub.add_parser(
         "sweep", help="run experiment grids through the cached sweep runner")
@@ -737,8 +790,13 @@ def cmd_top(args) -> int:
 
     Each row is a /proc-style sample: meminfo gauges plus vmstat counter
     *rates* over the interval — like watching ``vmstat <interval>`` on
-    the machine while the experiment runs.
+    the machine while the experiment runs.  With ``--watch SECONDS`` the
+    latest row repaints in place (ANSI cursor-up), throttled to one
+    repaint per wall-clock SECONDS — a one-line live dashboard instead
+    of a scrolling log.
     """
+    import time
+
     columns = list(TOP_COLUMNS)
     nodes = getattr(args, "nodes", 1)
     if nodes > 1:
@@ -749,7 +807,9 @@ def cmd_top(args) -> int:
         columns.append("numamig/s")
     widths = [max(8, len(c)) for c in columns]
     print("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
-    state = {"last_t": 0.0, "last_vmstat": None, "last_numastat": None}
+    state = {"last_t": 0.0, "last_vmstat": None, "last_numastat": None,
+             "last_wall": 0.0, "drawn": False}
+    watch = getattr(args, "watch", None)
 
     def snapshot(kernel):
         t_s = kernel.now_us / SEC
@@ -790,7 +850,19 @@ def cmd_top(args) -> int:
                                  + 512 * prev_ns["numa_huge_migrated"])
                 row.append(f"{(migrated - prev_migrated) / dt:.0f}")
             state["last_numastat"] = ns
-        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        line = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        if watch is None:
+            print(line)
+        else:
+            wall = time.monotonic()
+            if not state["drawn"] or wall - state["last_wall"] >= watch:
+                if state["drawn"]:
+                    # repaint in place: up one line, clear, rewrite.
+                    sys.stdout.write("\x1b[1A\r\x1b[2K")
+                print(line)
+                sys.stdout.flush()
+                state["last_wall"] = wall
+                state["drawn"] = True
         state["last_t"] = t_s
         state["last_vmstat"] = vm
 
@@ -809,6 +881,221 @@ def cmd_top(args) -> int:
           f"{result['time_s']:.1f} simulated s, {result['faults']} faults, "
           f"{result['promotions']} promotions")
     return 0 if result["outcome"] == "completed" else 1
+
+
+def _attach_audit(args):
+    """Shared setup for pagemap/why/audit: run with the audit attached."""
+    from repro import audit
+
+    log_box: list = []
+
+    def setup(kernel):
+        log_box.append(audit.attach(kernel))
+
+    result = _execute(args.workload, args.policy, args, setup=setup)
+    return result, log_box[0]
+
+
+def cmd_pagemap(args) -> int:
+    """`repro pagemap`: region/frame dump with flags and provenance.
+
+    The per-region table is the /proc/pid/pagemap view (what maps
+    where); ``--region`` expands one huge region frame by frame with
+    kpageflags-style flag letters and the page_owner-style provenance
+    columns (allocation site/pid/epoch, last lifecycle event).
+    """
+    from repro.units import PAGES_PER_HUGE
+
+    result, log = _attach_audit(args)
+    kernel, proc = result["kernel"], result["run"].proc
+    ledger = log.ledger
+    numa = kernel.numa
+    node_of = (numa.allocator.node_map.node_of
+               if numa is not None else (lambda _f: 0))
+    pt = proc.page_table
+
+    def prov(frame):
+        d = ledger.describe(frame)
+        if not d["events"]:
+            return d, "-"
+        name, epoch, _arg = d["events"][-1]
+        return d, f"{name}@{epoch}"
+
+    status = 0 if result["outcome"] == "completed" else 1
+    if args.region is not None:
+        hvpn = args.region
+        huge = pt.huge.get(hvpn)
+        rows = []
+        for vpn in range(hvpn * PAGES_PER_HUGE, (hvpn + 1) * PAGES_PER_HUGE):
+            if huge is not None:
+                frame = huge.frame + (vpn - hvpn * PAGES_PER_HUGE)
+                flags = ("HA" if huge.accessed else "H-") \
+                    + ("D" if huge.dirty else "-")
+            else:
+                pte = pt.base.get(vpn)
+                if pte is None:
+                    continue
+                frame = pte.frame
+                flags = ("-" + ("A" if pte.accessed else "-")
+                         + ("D" if pte.dirty else "-")
+                         + ("Z" if pte.shared_zero else "")
+                         + ("C" if pte.shared_cow else ""))
+            d, last = prov(frame)
+            rows.append([vpn, frame, flags, node_of(frame),
+                         "yes" if d["live"] else "no", d["site"],
+                         d["pid"], d["epoch"], last])
+        shown = rows[: args.limit] if args.limit else rows
+        print(format_table(
+            ["vpn", "frame", "flags", "node", "live", "site",
+             "alloc pid", "alloc epoch", "last event"],
+            shown,
+            title=f"{args.workload} pid {proc.pid} region {args.region} "
+                  f"(flags: Huge/Accessed/Dirty, Zero-shared, Cow-shared)",
+        ))
+        if args.limit and len(rows) > len(shown):
+            print(f"... {len(rows) - len(shown)} more mapped pages "
+                  f"(raise --limit)")
+        return status
+
+    rows = []
+    for region in sorted(proc.regions.values(), key=lambda r: r.hvpn):
+        hvpn = region.hvpn
+        huge = pt.huge.get(hvpn)
+        if huge is not None:
+            frame, mapping = huge.frame, "huge"
+        else:
+            frame, mapping = -1, "base"
+            for vpn in range(hvpn * PAGES_PER_HUGE,
+                             (hvpn + 1) * PAGES_PER_HUGE):
+                pte = pt.base.get(vpn)
+                if pte is not None:
+                    frame = pte.frame
+                    break
+        if frame < 0:
+            continue
+        d, last = prov(frame)
+        rows.append([hvpn, mapping, region.resident,
+                     f"{region.coverage_ema:.1f}", frame, node_of(frame),
+                     d["site"], d["pid"], d["epoch"], last])
+    shown = rows[: args.limit] if args.limit else rows
+    print(format_table(
+        ["region", "map", "resident", "ema", "head frame", "node", "site",
+         "alloc pid", "alloc epoch", "last event"],
+        shown,
+        title=f"{args.workload}/{args.policy} pid {proc.pid}: "
+              f"{len(rows)} populated regions "
+              f"(provenance of each region's head frame)",
+    ))
+    if args.limit and len(rows) > len(shown):
+        print(f"... {len(rows) - len(shown)} more regions "
+              f"(raise --limit, or --region HVPN to zoom in)")
+    return status
+
+
+def cmd_why(args) -> int:
+    """`repro why`: replay recent policy decisions with their inputs.
+
+    Prints the newest :class:`~repro.audit.DecisionRecord`\\ s affecting
+    the workload's process — each line carries the exact numbers the
+    policy compared (coverage EMA, thresholds, budget left, …), so "why
+    was this region never promoted" is answerable after the fact.
+    Kernel-thread decisions (pid -1, e.g. a budget denial that stopped
+    a whole scan) are included: they affect every process.
+    """
+    result, log = _attach_audit(args)
+    proc = result["run"].proc
+    records = [
+        rec for rec in log.decisions_for(hvpn=args.region, point=args.point)
+        if rec.pid == proc.pid or rec.pid < 0
+    ]
+    shown = records[: args.limit] if args.limit else records
+    scope = "".join([
+        f" region={args.region}" if args.region is not None else "",
+        f" point={args.point}" if args.point else "",
+    ])
+    print(f"{len(records)} replayable decisions for pid {proc.pid}{scope} "
+          f"({log.recorded} recorded, {log.dropped} aged out of the "
+          f"{log.capacity}-record ring); newest first:")
+    for rec in shown:
+        print(rec)
+    if len(records) > len(shown):
+        print(f"... {len(records) - len(shown)} more (raise --limit)")
+    if not records:
+        print("  (none matched — the policy never weighed this scope; "
+              "run `repro audit` for the full funnel)")
+    return 0 if result["outcome"] == "completed" else 1
+
+
+def cmd_audit(args) -> int:
+    """`repro audit`: the decision funnel, live or from a sweep cache."""
+    import json
+
+    from repro import audit
+
+    if args.workload is None:
+        return _cmd_audit_cache(args)
+    result, log = _attach_audit(args)
+    doc = {
+        "workload": args.workload,
+        "policy": args.policy,
+        "outcome": result["outcome"],
+        "funnel": log.funnel_summary(),
+        "rejections": log.rejection_summary(),
+        "recorded": log.recorded,
+        "dropped": log.dropped,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(audit.format_funnel(
+            doc["funnel"], doc["rejections"],
+            title=f"decision funnel: {args.workload}/{args.policy} "
+                  f"({log.recorded} decisions)"))
+    return 0 if result["outcome"] == "completed" else 1
+
+
+def _cmd_audit_cache(args) -> int:
+    """Aggregate captured decision audits across a sweep cache."""
+    import json
+
+    from repro import audit
+    from repro.report.data import latest_envelopes
+
+    cache, _ = _sweep_paths(args)
+    cells: dict[str, dict] = {}
+    total_funnel: dict[str, dict[str, int]] = {}
+    total_rej: dict[str, dict[str, int]] = {}
+    envelopes = latest_envelopes(cache)
+    for cell_id in sorted(envelopes):
+        for artifact in envelopes[cell_id].get("telemetry") or []:
+            decisions = artifact.get("decisions") or {}
+            if not decisions:
+                continue
+            cells[cell_id] = decisions
+            for point, stages in (decisions.get("funnel") or {}).items():
+                agg = total_funnel.setdefault(
+                    point, {s: 0 for s in audit.FUNNEL_STAGES})
+                for stage, count in stages.items():
+                    agg[stage] += count
+            for point, reasons in (decisions.get("rejections") or {}).items():
+                rej = total_rej.setdefault(point, {})
+                for reason, count in reasons.items():
+                    rej[reason] = rej.get(reason, 0) + count
+    if args.json:
+        print(json.dumps(
+            {"cells": cells,
+             "total": {"funnel": total_funnel, "rejections": total_rej}},
+            indent=2, sort_keys=True))
+        return 0
+    if not cells:
+        print(f"no captured decision audits in {cache.root} "
+              f"(cells cached before the audit layer, or audit disabled)")
+        return 0
+    print(audit.format_funnel(
+        {p: total_funnel[p] for p in sorted(total_funnel)},
+        {p: dict(sorted(total_rej[p].items())) for p in sorted(total_rej)},
+        title=f"decision funnel: {len(cells)} cells in {cache.root}"))
+    return 0
 
 
 def _sweep_paths(args):
@@ -1015,6 +1302,12 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_numa(args)
     if args.command == "top":
         return cmd_top(args)
+    if args.command == "pagemap":
+        return cmd_pagemap(args)
+    if args.command == "why":
+        return cmd_why(args)
+    if args.command == "audit":
+        return cmd_audit(args)
     if args.command == "sweep":
         return cmd_sweep(args)
     if args.command == "report":

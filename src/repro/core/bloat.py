@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro import trace
+from repro import audit, trace
 from repro.kernel.kthread import RateLimiter
 from repro.mem.watermarks import Watermarks
 from repro.units import PAGES_PER_HUGE
@@ -78,6 +78,11 @@ class BloatRecovery:
         recovered = 0
         while self._cursor < len(candidates):
             if not self._limiter.take(PAGES_PER_HUGE):
+                proc, hvpn = candidates[self._cursor]
+                self._decide(proc, hvpn, "reject", "budget_exhausted",
+                             stage=2,
+                             inputs={"budget_left": self._limiter.available,
+                                     "need": PAGES_PER_HUGE})
                 break
             proc, hvpn = candidates[self._cursor]
             self._cursor += 1
@@ -103,11 +108,20 @@ class BloatRecovery:
                 if region.is_huge:
                     yield proc, region.hvpn
 
+    def _decide(self, proc: Process, hvpn: int, outcome: str, reason: str,
+                stage: int, inputs: dict | None = None) -> None:
+        """Record one bloat-victim-selection decision when audited."""
+        if audit.enabled and (al := self.kernel.audit) is not None \
+                and al.enabled:
+            al.decide("bloat", proc.name, proc.pid, hvpn, outcome, reason,
+                      stage=stage, inputs=inputs)
+
     def _consider(self, proc: Process, hvpn: int) -> int:
         """Scan one huge page; demote and dedup if it is mostly bloat."""
         kernel = self.kernel
         region = proc.regions.get(hvpn)
         if region is None or not region.is_huge:
+            self._decide(proc, hvpn, "reject", "region_gone", stage=1)
             return 0
         zeros, scanned = kernel.count_zero_pages(proc, hvpn)
         kernel.stats.bloat_cpu_us += kernel.costs.scan_page_us(scanned)
@@ -116,12 +130,21 @@ class BloatRecovery:
                     kernel.costs.scan_page_us(scanned), hvpn,
                     f"zeros={zeros}")
         if zeros < self.zero_threshold * PAGES_PER_HUGE:
+            self._decide(
+                proc, hvpn, "reject", "below_threshold", stage=3,
+                inputs={"zeros": zeros,
+                        "threshold_pages":
+                            self.zero_threshold * PAGES_PER_HUGE,
+                        "overhead": self.overhead_of(proc)})
             return 0
         kernel.demote_region(proc, hvpn)
         recovered, dedup_scanned = kernel.dedup_zero_pages(proc, hvpn)
         kernel.stats.bloat_cpu_us += kernel.costs.scan_page_us(dedup_scanned)
         region.bloat_demoted = True
         self.regions_demoted += 1
+        self._decide(proc, hvpn, "accept", "demoted", stage=4,
+                     inputs={"zeros": zeros, "recovered": recovered,
+                             "overhead": self.overhead_of(proc)})
         if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
             tp.emit(trace.TraceKind.BLOAT_RECOVER, proc.name,
                     kernel.costs.scan_page_us(dedup_scanned), hvpn,

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro import trace
-from repro.core.access_map import AccessMap
+from repro import audit, trace
+from repro.core.access_map import AccessMap, bucket_of
 from repro.kernel.kthread import RateLimiter
 from repro.vm.process import Process
 
@@ -60,6 +60,9 @@ class PromotionEngine:
         self._limiter = RateLimiter(promote_per_sec, kernel.config.epoch_us)
         #: pid served last; round-robin resumes after it.
         self._rr_last_pid: int | None = None
+        #: hoisted once per run_epoch — the _decide call sites build their
+        #: inputs dicts eagerly, so they must stay off the disabled path.
+        self._audited = False
 
     def _round_robin(self, candidates: list[Process]) -> list[Process]:
         """Rotate candidates so the process after the last-served is first."""
@@ -75,8 +78,21 @@ class PromotionEngine:
                 candidates = later + earlier
         return candidates
 
+    def _decide(self, proc: Process | None, hvpn: int, outcome: str,
+                reason: str, stage: int, inputs: dict | None = None) -> None:
+        """Record one promotion-scoring decision when audited."""
+        if (al := self.kernel.audit) is not None and al.enabled:
+            name = "khugepaged" if proc is None else proc.name
+            pid = -1 if proc is None else proc.pid
+            al.decide("promote", name, pid, hvpn, outcome, reason,
+                      stage=stage, inputs=inputs)
+
     def run_epoch(self) -> int:
         """Promote up to this epoch's budget; returns promotions done."""
+        self._audited = (audit.enabled
+                         and (al := self.kernel.audit) is not None
+                         and al.enabled)
+        audited = self._audited
         self._limiter.refill()
         done = 0
         while self._limiter.available >= 1.0:
@@ -85,16 +101,35 @@ class PromotionEngine:
                 break
             proc, hvpn = picked
             amap = self.access_maps[proc.pid]
+            region = proc.regions.get(hvpn)
+            ema = 0.0 if region is None else region.coverage_ema
             if self.kernel.promote_region(proc, hvpn) is None:
                 # Region unpromotable (gone, or no contiguity): drop it
                 # from the candidate set and keep going.  No token is
                 # charged — a stale access_map entry must not burn the
                 # epoch's budget and starve real candidates.
+                if audited:
+                    self._decide(proc, hvpn, "reject", "promote_failed",
+                                 stage=3,
+                                 inputs={"coverage_ema": ema,
+                                         "bucket": bucket_of(ema),
+                                         "fmfi": self.kernel.fmfi()})
                 amap.remove(hvpn)
                 continue
+            if audited:
+                self._decide(proc, hvpn, "accept", "promoted", stage=4,
+                             inputs={"coverage_ema": ema,
+                                     "bucket": bucket_of(ema),
+                                     "budget_left": self._limiter.available,
+                                     "variant": self.variant})
             self._limiter.take()
             amap.remove(hvpn)
             done += 1
+        if done and self._limiter.available < 1.0 and audited:
+            # The epoch ended on budget, not on candidate exhaustion.
+            self._decide(None, -1, "reject", "budget_exhausted", stage=2,
+                         inputs={"budget_left": self._limiter.available,
+                                 "promoted": done})
         if done and trace.enabled and (tp := self.kernel.trace) is not None and tp.enabled:
             tp.emit(trace.TraceKind.KTHREAD_EPOCH, "khugepaged",
                     detail=f"promoted={done}")
@@ -114,7 +149,12 @@ class PromotionEngine:
         amap = self.access_maps.get(proc.pid)
         if amap is None:
             return None
+        audited = self._audited
         if self.limits is not None and not self.limits.may_promote(proc):
+            if audited:
+                self._decide(proc, -1, "reject", "limit_cap", stage=1,
+                             inputs={"limit": self.limits.limit_for(proc),
+                                     "held": self.limits.held(proc)})
             return None
         skip_bloat = self.skip_bloat_demoted()
         order = (
@@ -123,12 +163,24 @@ class PromotionEngine:
         for hvpn in list(order):
             region = proc.regions.get(hvpn)
             if region is None or region.is_huge:
+                if audited:
+                    self._decide(proc, hvpn, "reject",
+                                 "region_gone" if region is None
+                                 else "already_huge", stage=1)
                 amap.remove(hvpn)
                 continue
             if skip_bloat and region.bloat_demoted:
+                if audited:
+                    self._decide(proc, hvpn, "reject", "bloat_demoted",
+                                 stage=1,
+                                 inputs={"coverage_ema": region.coverage_ema})
                 continue
             if self.kernel.can_promote(proc, hvpn):
                 return hvpn
+            if audited:
+                self._decide(proc, hvpn, "reject", "not_promotable", stage=1,
+                             inputs={"coverage_ema": region.coverage_ema,
+                                     "resident": region.resident})
             amap.remove(hvpn)
         return None
 

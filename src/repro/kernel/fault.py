@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-from repro import trace
+from repro import audit, trace
 from repro.policies.base import HugePagePolicy
 from repro.units import PAGES_PER_HUGE
 from repro.vm.process import Process
@@ -135,6 +135,8 @@ def _base_fault(
         backing_us += swap_us
         # The page's old (non-zero) content comes back from swap.
         kernel.frames.write(frame, first_nonzero=9)
+        if audit.enabled and (al := kernel.audit) is not None and al.enabled:
+            al.ledger.record(frame, 1, audit.EV_SWAPPED_IN)
         if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
             tp.emit(trace.TraceKind.SWAP_IN, proc.name, swap_us, vpn)
     needs_zero = not swapped_in and anon and (not zeroed or not policy.trusts_zero_lists)

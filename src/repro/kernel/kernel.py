@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from repro import audit as audit_mod
 from repro import trace
 from repro.errors import InvalidAddressError, OutOfMemoryError
 from repro.metrics import telemetry as telemetry_mod
@@ -153,6 +154,10 @@ class Kernel:
         #: epoch loop tests the module-level flag first, so an empty
         #: slot is one attribute load away from free).
         self.telemetry: Optional["telemetry_mod.TelemetrySampler"] = None
+        #: decision/provenance audit log; attach with
+        #: :func:`repro.audit.attach` (same contract: recording sites
+        #: test the module-level ``audit.enabled`` flag first).
+        self.audit: Optional["audit_mod.AuditLog"] = None
         self.now_us = 0.0
         self.processes: list[Process] = []
         self.runs: list["WorkloadRun"] = []
@@ -639,6 +644,13 @@ class Kernel:
             got = self.alloc_huge_block(prefer_zero=False, owner=proc.pid,
                                         node=target)
             if got is None:
+                if audit_mod.enabled and (al := self.audit) is not None \
+                        and al.enabled:
+                    al.decide(
+                        "collapse_node", proc.name, proc.pid, hvpn,
+                        "reject", "alloc_failed", stage=3,
+                        inputs={"target_node": -1 if target is None else target,
+                                "fmfi": self.fmfi()})
                 return None
             block = got[0]
             self.frames.zero_fill(block, PAGES_PER_HUGE)
@@ -669,6 +681,17 @@ class Kernel:
         proc.fault_time_epoch_us += self.costs.promotion_stall_us
         self.stats.count_promotion(proc.name, collapsed)
         self.stats.khugepaged_cpu_us += cost
+        if audit_mod.enabled and (al := self.audit) is not None and al.enabled:
+            led = al.ledger
+            if collapsed:
+                led.set_site(block, PAGES_PER_HUGE, audit_mod.SITE_PROMOTE)
+                al.decide(
+                    "collapse_node", proc.name, proc.pid, hvpn,
+                    "accept", "collapsed", stage=4,
+                    inputs={"target_node": (-1 if self.numa is None
+                                            else self.numa.node_of(block)),
+                            "resident": len(base_vpns)})
+            led.record(block, PAGES_PER_HUGE, audit_mod.EV_PROMOTED)
         if trace.enabled and (tp := self.trace) is not None and tp.enabled:
             kind = (trace.TraceKind.PROMOTE_COLLAPSE if collapsed
                     else trace.TraceKind.PROMOTE_INPLACE)
@@ -687,6 +710,9 @@ class Kernel:
         region.resident = PAGES_PER_HUGE
         proc.stats.demotions += 1
         self.stats.demotions += 1
+        if audit_mod.enabled and (al := self.audit) is not None and al.enabled:
+            al.ledger.record(huge_pte.frame, PAGES_PER_HUGE,
+                             audit_mod.EV_DEMOTED)
         if trace.enabled and (tp := self.trace) is not None and tp.enabled:
             tp.emit(trace.TraceKind.DEMOTE, proc.name, self.costs.remap_us, hvpn)
         return self.costs.remap_us
@@ -713,9 +739,14 @@ class Kernel:
         zero_frame = self.zero_registry.zero_frame
         base = pt.base
         is_zero = fnz < 0
+        led = None
+        if audit_mod.enabled and (al := self.audit) is not None and al.enabled:
+            led = al.ledger
         for off, frame in zip(priv_off[is_zero].tolist(), pframes[is_zero].tolist()):
             vpn = vpn0 + off
             pte = base[vpn]
+            if led is not None:
+                led.record(frame, 1, audit_mod.EV_KSM_MERGED, zero_frame)
             self._rmap.pop(frame, None)
             self.buddy.free(frame, 0)
             pte.frame = zero_frame

@@ -43,10 +43,14 @@ def vmstat(kernel: "Kernel") -> dict[str, float]:
     buffer dropped — so ``repro top`` (and any scraper) can tell when a
     recorded trace is lossy.  All are 0 with no tracer attached;
     ``trace_attached`` is point-in-time state, the other two are
-    cumulative like every other key.
+    cumulative like every other key.  The ``audit_*`` keys do the same
+    for the decision audit: ``audit_decisions`` counts every decision
+    ever recorded, ``audit_dropped`` the ones that aged out of the
+    replay ring (the funnel stays exact regardless).
     """
     s = kernel.stats
     tracer = kernel.trace
+    audit_log = kernel.audit
     return {
         "pgfault": s.faults,
         "pgfault_huge": s.huge_faults,
@@ -65,6 +69,9 @@ def vmstat(kernel: "Kernel") -> dict[str, float]:
         "trace_attached": 1 if tracer is not None else 0,
         "trace_events": sum(tracer.counts.values()) if tracer is not None else 0,
         "trace_dropped": tracer.dropped if tracer is not None else 0,
+        "audit_attached": 1 if audit_log is not None else 0,
+        "audit_decisions": audit_log.recorded if audit_log is not None else 0,
+        "audit_dropped": audit_log.dropped if audit_log is not None else 0,
     }
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro import trace
+from repro import audit, trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.kernel import Kernel
@@ -60,6 +60,8 @@ class SwapDevice:
             proc, vpn = victim
             pte = proc.page_table.unmap_base(vpn)
             kernel._rmap.pop(pte.frame, None)
+            if audit.enabled and (al := kernel.audit) is not None and al.enabled:
+                al.ledger.record(pte.frame, 1, audit.EV_SWAPPED_OUT)
             kernel.buddy.free(pte.frame, 0)
             proc.region(vpn >> 9).resident -= 1
             self.swapped.add((proc.pid, vpn))

@@ -16,6 +16,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import audit
 from repro.mem.buddy import BuddyAllocator
 from repro.units import HUGE_PAGE_ORDER, PAGES_PER_HUGE
 
@@ -128,6 +129,14 @@ class Compactor:
             frames.first_nonzero[new] = frames.first_nonzero[old]
             frames.content_tag[new] = frames.content_tag[old]
             frames.owner[new] = frames.owner[old]
+            # ... and so does its provenance (page_owner's
+            # __folio_copy_owner); the migration itself is an event on
+            # the destination frame, attributed to compaction.
+            if audit.enabled and (led := frames.ledger) is not None \
+                    and led.enabled:
+                led.copy_provenance(old, new)
+                led.record(new, 1, audit.EV_COMPACTED, old)
+                led.set_site(new, 1, audit.SITE_COMPACT)
             emptied.append(old)
         # Reassemble the hole only after all destinations are allocated,
         # so in-chunk frames never re-enter the free lists mid-migration.

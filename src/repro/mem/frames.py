@@ -47,6 +47,9 @@ class FrameTable:
         self.owner = np.full(num_frames, NO_OWNER, dtype=np.int32)
         #: pinned frames cannot be migrated by compaction (file cache etc.).
         self.pinned = np.zeros(num_frames, dtype=bool)
+        #: provenance ledger (repro.audit.FrameLedger) or None; set by
+        #: audit.attach.  The mutation seams below feed it when enabled.
+        self.ledger = None
         self._next_tag = 1
 
     # ------------------------------------------------------------------ #
@@ -112,6 +115,8 @@ class FrameTable:
         """Zero the content of ``count`` frames starting at ``start``."""
         self.first_nonzero[start:start + count] = -1
         self.content_tag[start:start + count] = ZERO_TAG
+        if (led := self.ledger) is not None and led.enabled:
+            led.on_zero(start, count)
 
     def is_zero(self, frame: int) -> bool:
         """True when the frame's content is entirely zero bytes."""
@@ -138,12 +143,16 @@ class FrameTable:
         """Buddy bookkeeping: mark a frame range allocated to an owner."""
         self.allocated[start:start + count] = True
         self.owner[start:start + count] = owner
+        if (led := self.ledger) is not None and led.enabled:
+            led.on_alloc(start, count, owner)
 
     def mark_free(self, start: int, count: int) -> None:
         """Buddy bookkeeping: mark a frame range free and unpinned."""
         self.allocated[start:start + count] = False
         self.owner[start:start + count] = NO_OWNER
         self.pinned[start:start + count] = False
+        if (led := self.ledger) is not None and led.enabled:
+            led.on_free(start, count)
 
     def allocated_count(self) -> int:
         """Number of currently allocated frames."""

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro import trace
+from repro import audit, trace
 from repro.kernel.kthread import RateLimiter
 from repro.mem.frames import ZERO_TAG
 from repro.units import BASE_PAGE_SIZE
@@ -154,6 +154,10 @@ class SamePageMerger:
         if frames.is_zero(frame):
             # zero pages dedup onto the canonical zero frame
             kernel._rmap.pop(frame, None)
+            if audit.enabled and (al := kernel.audit) is not None \
+                    and al.enabled:
+                al.ledger.record(frame, 1, audit.EV_KSM_MERGED,
+                                 kernel.zero_registry.zero_frame)
             kernel.buddy.free(frame, 0)
             pte.frame = kernel.zero_registry.zero_frame
             pte.shared_zero = True
@@ -189,6 +193,8 @@ class SamePageMerger:
             owner_proc.page_table.sync_pte(owner_vpn, owner_pte)
         # merge this page into the canonical
         kernel._rmap.pop(frame, None)
+        if audit.enabled and (al := kernel.audit) is not None and al.enabled:
+            al.ledger.record(frame, 1, audit.EV_KSM_MERGED, canonical)
         kernel.buddy.free(frame, 0)
         pte.frame = canonical
         pte.shared_cow = True

@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro import trace
+from repro import audit, trace
 from repro.metrics.registry import MetricsRegistry
 from repro.units import SEC
 
@@ -53,7 +53,7 @@ enabled: bool = False
 _attached: int = 0
 
 #: vmstat keys that are point-in-time state, not cumulative counters.
-VMSTAT_GAUGES = frozenset({"trace_attached"})
+VMSTAT_GAUGES = frozenset({"trace_attached", "audit_attached"})
 
 #: scrape subsampling during sweep capture (every N epochs).
 CAPTURE_EVERY_EPOCHS = 10
@@ -80,11 +80,15 @@ class RunTelemetry:
     scrapes: list[dict] = field(default_factory=list)
     attribution: dict[str, dict] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
+    #: decision-audit summary ({"funnel": .., "rejections": .., counts})
+    #: when an audit log was attached; empty — and omitted from the
+    #: artifact — otherwise, so audit-free artifacts keep their bytes.
+    decisions: dict = field(default_factory=dict)
     self_profile: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain JSON-able form (the artifact written beside cache entries)."""
-        return {
+        out = {
             "version": self.version,
             "meta": self.meta,
             "scrapes": self.scrapes,
@@ -92,6 +96,9 @@ class RunTelemetry:
             "histograms": self.histograms,
             "self_profile": self.self_profile,
         }
+        if self.decisions:
+            out["decisions"] = self.decisions
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunTelemetry":
@@ -102,6 +109,7 @@ class RunTelemetry:
             scrapes=data.get("scrapes", []),
             attribution=data.get("attribution", {}),
             histograms=data.get("histograms", {}),
+            decisions=data.get("decisions", {}),
             self_profile=data.get("self_profile", {}),
         )
 
@@ -121,6 +129,12 @@ class RunTelemetry:
             for p in ("p50", "p95", "p99"):
                 if p in hist:
                     out[f"hist.{kind}.{p}"] = hist[p]
+        for point, stages in (self.decisions.get("funnel") or {}).items():
+            for stage, count in stages.items():
+                out[f"decision.{point}.{stage}"] = count
+        for point, reasons in (self.decisions.get("rejections") or {}).items():
+            for reason, count in reasons.items():
+                out[f"decision.{point}.reject.{reason}"] = count
         return out
 
 
@@ -179,6 +193,19 @@ class TelemetrySampler:
             self._numa_remote = r.gauge(
                 "numa_remote_walk_share",
                 "share of all page-walk cycles hitting remote-node memory")
+        # Decision-audit families follow the same rule as NUMA: declared
+        # only when an audit log is attached at sampler construction, so
+        # audit-free scrapes keep their exact byte shape.
+        self._decision_funnel = self._decision_reject = None
+        if kernel.audit is not None:
+            self._decision_funnel = r.counter(
+                "decision_funnel_total",
+                "policy decisions reaching each funnel stage",
+                labelnames=("point", "stage"))
+            self._decision_reject = r.counter(
+                "decision_rejections_total",
+                "policy rejections per decision point and reason",
+                labelnames=("point", "reason"))
         # wall-clock self-profile state
         self._wall_origin = time.perf_counter()
         self._last_wall = self._wall_origin
@@ -236,6 +263,16 @@ class TelemetrySampler:
             for subsystem, (events, span_us) in tracer.attribution().items():
                 self._trace_events.labels(subsystem=subsystem).sync(events)
                 self._trace_span.labels(subsystem=subsystem).sync(span_us)
+        audit_log = kernel.audit
+        if self._decision_funnel is not None and audit_log is not None:
+            for point, counts in audit_log.funnel.items():
+                for stage, count in zip(audit.FUNNEL_STAGES, counts):
+                    self._decision_funnel.labels(
+                        point=point, stage=stage).sync(count)
+            for point, reasons in audit_log.rejections.items():
+                for reason, count in reasons.items():
+                    self._decision_reject.labels(
+                        point=point, reason=reason).sync(count)
 
     # ------------------------------------------------------------------ #
     # artifact                                                            #
@@ -289,12 +326,22 @@ class TelemetrySampler:
                 for kind, hist in sorted(tracer.histograms.items(),
                                          key=lambda item: item[0].value)
             }
+        audit_log = kernel.audit
+        decisions: dict = {}
+        if audit_log is not None:
+            decisions = {
+                "funnel": audit_log.funnel_summary(),
+                "rejections": audit_log.rejection_summary(),
+                "recorded": audit_log.recorded,
+                "dropped": audit_log.dropped,
+            }
         return RunTelemetry(
             version=TELEMETRY_VERSION,
             meta=full_meta,
             scrapes=list(self.scrapes),
             attribution=attribution,
             histograms=histograms,
+            decisions=decisions,
             self_profile=self.self_profile(),
         )
 
@@ -367,10 +414,15 @@ _capture_every: int = CAPTURE_EVERY_EPOCHS
 
 
 def autoattach(kernel: "Kernel") -> None:
-    """Called by ``Kernel.__init__`` while a capture is armed."""
+    """Called by ``Kernel.__init__`` while a capture is armed.
+
+    Attaches the tracer and the decision audit *before* the sampler so
+    the sampler sees both and declares their metric families.
+    """
     if _capture_samplers is None:
         return
     trace.attach(kernel, CAPTURE_TRACE_CAPACITY, warn_on_drop=False)
+    audit.attach(kernel)
     _capture_samplers.append(attach(kernel, every_epochs=_capture_every))
 
 
@@ -383,5 +435,6 @@ def end_capture(meta: dict | None = None) -> list[RunTelemetry]:
     for sampler in samplers or ():
         artifacts.append(sampler.telemetry(meta))
         trace.detach(sampler.kernel)
+        audit.detach(sampler.kernel)
         detach(sampler.kernel)
     return artifacts

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro import trace
+from repro import audit, trace
 from repro.kernel.kthread import RateLimiter
 from repro.numa.allocator import NodeAllocator
 from repro.units import CYCLES_PER_USEC, PAGES_PER_HUGE
@@ -381,6 +381,14 @@ class NumaState:
                     detail=f"regions={moved_regions} pages={moved_pages}"
                            f"{' budget' if out_of_budget else ''}")
 
+    def _decide(self, proc: "Process", hvpn: int, outcome: str, reason: str,
+                stage: int, inputs: dict | None = None) -> None:
+        """Record one knumad migration-candidacy decision when audited."""
+        if audit.enabled and (al := self.kernel.audit) is not None \
+                and al.enabled:
+            al.decide("knumad", proc.name, proc.pid, hvpn, outcome, reason,
+                      stage=stage, inputs=inputs)
+
     def _migrate_region(self, proc: "Process", hvpn: int) -> tuple[int, float, bool]:
         """Move one region toward the owner's home node.
 
@@ -391,12 +399,20 @@ class NumaState:
         pt = proc.page_table
         region = proc.regions.get(hvpn)
         if region is None or region.resident == 0:
+            self._decide(proc, hvpn, "reject", "region_gone", stage=1,
+                         inputs={"target_node": target})
             return 0, 0.0, False
         cost = 0.0
         if hvpn in pt.huge:
             if self.node_of(pt.huge[hvpn].frame) == target:
+                self._decide(proc, hvpn, "reject", "already_local", stage=1,
+                             inputs={"target_node": target})
                 return 0, 0.0, False
             if not self.knumad.take(PAGES_PER_HUGE):
+                self._decide(proc, hvpn, "reject", "budget_exhausted",
+                             stage=2,
+                             inputs={"budget_left": self.knumad.available,
+                                     "need": PAGES_PER_HUGE})
                 return 0, cost, True
             moved, huge_cost = self._migrate_huge(proc, hvpn, target)
             if moved:
@@ -404,6 +420,11 @@ class NumaState:
             if self.allocator.zone(target).free_pages < PAGES_PER_HUGE:
                 # The target node cannot host the region even page-wise;
                 # splitting would sacrifice the huge mapping for nothing.
+                self._decide(
+                    proc, hvpn, "reject", "no_target_memory", stage=3,
+                    inputs={"target_node": target,
+                            "free_pages":
+                                self.allocator.zone(target).free_pages})
                 return 0, cost, False
             # No contiguous block on the target: split, then migrate
             # the base pages below (demote-on-split-migration).
@@ -427,6 +448,11 @@ class NumaState:
             frames.first_nonzero[old:old + PAGES_PER_HUGE]
         frames.content_tag[new:new + PAGES_PER_HUGE] = \
             frames.content_tag[old:old + PAGES_PER_HUGE]
+        if audit.enabled and (al := kernel.audit) is not None and al.enabled:
+            led = al.ledger
+            led.copy_provenance(old, new, PAGES_PER_HUGE)
+            led.record(new, PAGES_PER_HUGE, audit.EV_MIGRATED, target)
+            led.set_site(new, PAGES_PER_HUGE, audit.SITE_NUMA)
         pt.huge[hvpn].frame = new
         pt.sync_huge(hvpn, pt.huge[hvpn])
         kernel._rmap_huge.pop(old, None)
@@ -452,13 +478,24 @@ class NumaState:
         offs = np.nonzero(mpriv)[0]
         olds = mframes[offs]
         wrong = self.allocator.node_of_arr(olds) != target
+        if not wrong.any():
+            self._decide(proc, hvpn, "reject", "already_local", stage=1,
+                         inputs={"target_node": target})
+            return moved, cost, False
         for old in olds[wrong].tolist():
             if not self.knumad.take(1):
+                self._decide(proc, hvpn, "reject", "budget_exhausted",
+                             stage=2,
+                             inputs={"budget_left": self.knumad.available,
+                                     "moved": moved})
                 return moved, cost, True
             got = self.allocator.try_alloc(
                 0, prefer_zero=False, owner=proc.pid, node=target, strict=True)
             if got is None:
                 # Target node is out of memory; leave the page remote.
+                self._decide(proc, hvpn, "reject", "no_target_memory",
+                             stage=3,
+                             inputs={"target_node": target, "moved": moved})
                 return moved, cost, False
             new = got[0]
             if not kernel._migrate_frame(old, new):  # pragma: no cover - stale rmap
@@ -466,6 +503,12 @@ class NumaState:
                 continue
             frames.first_nonzero[new] = frames.first_nonzero[old]
             frames.content_tag[new] = frames.content_tag[old]
+            if audit.enabled and (al := kernel.audit) is not None \
+                    and al.enabled:
+                led = al.ledger
+                led.copy_provenance(old, new)
+                led.record(new, 1, audit.EV_MIGRATED, target)
+                led.set_site(new, 1, audit.SITE_NUMA)
             kernel.buddy.free(old, 0)
             moved += 1
         if moved:
@@ -477,6 +520,8 @@ class NumaState:
     def _emit_migrate(self, proc: "Process", hvpn: int, pages: int,
                       target: int, cost: float, how: str) -> None:
         kernel = self.kernel
+        self._decide(proc, hvpn, "accept", f"migrated_{how}", stage=4,
+                     inputs={"target_node": target, "pages": pages})
         if trace.enabled and (tp := kernel.trace) is not None and tp.enabled:
             tp.emit(trace.TraceKind.NUMA_MIGRATE, proc.name, cost, hvpn,
                     detail=f"{how} pages={pages} -> node{target}")

@@ -24,7 +24,7 @@ import pstats
 import statistics
 import time
 
-from repro import trace
+from repro import audit, trace
 from repro.experiments import POLICIES, Scale, make_kernel, reset_sim_state
 from repro.metrics import telemetry
 from repro.units import GB, MB, PAGES_PER_HUGE, SEC
@@ -73,11 +73,11 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
     """One timed run; returns wall seconds.
 
     ``trace_mode`` selects the observability state under test: ``"off"``
-    (no tracer, no sampler — the production default), ``"disabled"``
-    (tracer *and* telemetry sampler attached, module flags armed, but
-    both instance gates off so every guard is evaluated and rejected —
-    the state the <5 % overhead gate measures) or ``"on"`` (full
-    emission and sampling).
+    (no tracer, no sampler, no audit — the production default),
+    ``"disabled"`` (tracer, telemetry sampler *and* decision audit
+    attached, module flags armed, but every instance gate off so each
+    guard is evaluated and rejected — the state the <5 % overhead gate
+    measures) or ``"on"`` (full emission, sampling and auditing).
     """
     reset_sim_state()
     # make_kernel takes the *full-scale* size; 2x headroom over the region
@@ -90,6 +90,8 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
         tracer.enabled = trace_mode == "on"
         sampler = telemetry.attach(kernel)
         sampler.enabled = trace_mode == "on"
+        log = audit.attach(kernel)
+        log.enabled = trace_mode == "on"
     bench = _TouchBench(npages)
     run = kernel.spawn(bench)
     kernel.mmap(run.proc, bench.mmap_bytes(), "heap")
@@ -101,6 +103,7 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
         if trace_mode != "off":
             trace.detach(kernel)
             telemetry.detach(kernel)
+            audit.detach(kernel)
     if not run.finished:
         raise RuntimeError("touch benchmark did not finish within the epoch cap")
     return elapsed
@@ -299,6 +302,8 @@ def _run_epoch_once(policy: str, regions: int, epochs: int, vectorized: bool,
         tracer.enabled = trace_mode == "on"
         sampler = telemetry.attach(kernel)
         sampler.enabled = trace_mode == "on"
+        log = audit.attach(kernel)
+        log.enabled = trace_mode == "on"
     try:
         t0 = time.perf_counter()
         kernel.run_epochs(epochs)
@@ -307,6 +312,7 @@ def _run_epoch_once(policy: str, regions: int, epochs: int, vectorized: bool,
         if trace_mode != "off":
             trace.detach(kernel)
             telemetry.detach(kernel)
+            audit.detach(kernel)
 
 
 def _scan_speedup(policy: str, regions: int, iters: int = 30) -> float:

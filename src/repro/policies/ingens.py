@@ -26,6 +26,7 @@ order, the sequential scan the paper's §2.3 criticises.
 
 from __future__ import annotations
 
+from repro import audit
 from repro.kernel.kthread import RateLimiter
 from repro.policies.base import HugePagePolicy
 from repro.units import PAGES_PER_HUGE
@@ -111,16 +112,39 @@ class IngensPolicy(HugePagePolicy):
         self._limiter.refill()
         threshold = self.current_threshold()
         per_proc = {p.pid: self._candidates(p, threshold) for p in self.kernel.processes}
+        audited = (audit.enabled and (al := self.kernel.audit) is not None
+                   and al.enabled)
         while self._limiter.available >= 1.0:
             eligible = [p for p in self.kernel.processes if per_proc[p.pid]]
             if not eligible:
                 break
             proc = min(eligible, key=self.promotion_metric)
             hvpn = per_proc[proc.pid].pop(0)  # lowest VA first
+            region = proc.regions.get(hvpn)
+            util = 0.0 if region is None else region.utilization()
             if not self._limiter.take():
+                if audited:
+                    al.decide("promote", proc.name, proc.pid, hvpn,
+                              "reject", "budget_exhausted", stage=2,
+                              inputs={"budget_left": self._limiter.available,
+                                      "threshold": threshold,
+                                      "utilization": util})
                 break
             if self.kernel.promote_region(proc, hvpn) is None:
+                if audited:
+                    al.decide("promote", proc.name, proc.pid, hvpn,
+                              "reject", "promote_failed", stage=3,
+                              inputs={"threshold": threshold,
+                                      "utilization": util,
+                                      "fmfi": self.kernel.fmfi()})
                 break  # no contiguity even after compaction
+            if audited:
+                al.decide("promote", proc.name, proc.pid, hvpn,
+                          "accept", "promoted", stage=4,
+                          inputs={"threshold": threshold,
+                                  "utilization": util,
+                                  "fairness_metric":
+                                      self.promotion_metric(proc)})
 
     def estimated_overhead(self, proc: Process) -> float:
         """Ingens has no overhead model; expose utilisation pressure."""

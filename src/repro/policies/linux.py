@@ -21,6 +21,7 @@ paper's "Linux-4KB" configuration).
 
 from __future__ import annotations
 
+from repro import audit
 from repro.kernel.kthread import RateLimiter
 from repro.policies.base import HugePagePolicy
 from repro.vm.process import Process
@@ -71,17 +72,40 @@ class LinuxTHPPolicy(HugePagePolicy):
         if not self.khugepaged:
             return
         self._limiter.refill()
+        audited = (audit.enabled and (al := self.kernel.audit) is not None
+                   and al.enabled)
         # FCFS: finish one process's scan before starting the next.
         for proc in sorted(self.kernel.processes, key=lambda p: p.launch_index):
             while True:
                 hvpn = self._next_candidate(proc)
                 if hvpn is None:
                     break  # this process fully scanned; move to the next
+                region = proc.regions.get(hvpn)
+                resident = 0 if region is None else region.resident
                 if not self._limiter.take():
+                    if audited:
+                        al.decide(
+                            "promote", proc.name, proc.pid, hvpn,
+                            "reject", "budget_exhausted", stage=2,
+                            inputs={"budget_left": self._limiter.available,
+                                    "resident": resident,
+                                    "max_ptes_none": self.max_ptes_none})
                     return  # promotion budget exhausted for this epoch
                 if self.kernel.promote_region(proc, hvpn) is None:
+                    if audited:
+                        al.decide(
+                            "promote", proc.name, proc.pid, hvpn,
+                            "reject", "promote_failed", stage=3,
+                            inputs={"resident": resident,
+                                    "max_ptes_none": self.max_ptes_none,
+                                    "fmfi": self.kernel.fmfi()})
                     # No contiguity even after compaction: stop this epoch.
                     return
+                if audited:
+                    al.decide("promote", proc.name, proc.pid, hvpn,
+                              "accept", "promoted", stage=4,
+                              inputs={"resident": resident,
+                                      "max_ptes_none": self.max_ptes_none})
 
     def _next_candidate(self, proc: Process) -> int | None:
         """Lowest promotable region at or above the scan cursor."""

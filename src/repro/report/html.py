@@ -378,6 +378,27 @@ def _attribution_rows(envelopes: dict[str, dict]):
     return rows, hist_rows, profiles
 
 
+def _decision_rows(envelopes: dict[str, dict]):
+    """Funnel + rejection-breakdown rows from captured decision audits."""
+    funnel_rows = []
+    reject_rows = []
+    for cell_id in sorted(envelopes):
+        env = envelopes[cell_id]
+        for artifact in env.get("telemetry") or []:
+            decisions = artifact.get("decisions") or {}
+            for point, stages in sorted(
+                    (decisions.get("funnel") or {}).items()):
+                funnel_rows.append([
+                    cell_id, point,
+                    stages.get("candidates", 0), stages.get("eligible", 0),
+                    stages.get("budget_passed", 0), stages.get("acted", 0)])
+            for point, reasons in sorted(
+                    (decisions.get("rejections") or {}).items()):
+                for reason, count in sorted(reasons.items()):
+                    reject_rows.append([cell_id, point, reason, count])
+    return funnel_rows, reject_rows
+
+
 def render_report(cache: ResultCache, title: str = "HawkEye repro — run report") -> str:
     """Render the whole dashboard for one sweep cache as an HTML string."""
     envelopes = latest_envelopes(cache)
@@ -412,6 +433,20 @@ def render_report(cache: ResultCache, title: str = "HawkEye repro — run report
             "(log2-bucket interpolation, ≤ 2× error)</h2>"
             + _table(["cell", "tracepoint", "samples", "p50 (µs)",
                       "p95 (µs)", "p99 (µs)"], hist_rows, numeric_from=2)
+            + "</section>")
+    funnel_rows, reject_rows = _decision_rows(envelopes)
+    if funnel_rows:
+        sections.append(
+            '<section class="card"><h2>Decision funnel '
+            "(candidates → eligible → budget-passed → acted)</h2>"
+            + _table(["cell", "point", "candidates", "eligible",
+                      "budget passed", "acted"], funnel_rows, numeric_from=2)
+            + "</section>")
+    if reject_rows:
+        sections.append(
+            '<section class="card"><h2>Rejections by reason</h2>'
+            + _table(["cell", "point", "reason", "rejections"],
+                     reject_rows, numeric_from=3)
             + "</section>")
     if profiles:
         sections.append(

@@ -81,6 +81,13 @@ class TraceKind(enum.Enum):
     NUMA_HINT = "numa.hint"
     NUMA_MIGRATE = "numa.migrate"
     NUMA_REMOTE_WALK = "numa_walk.remote"
+    # zero-span policy-decision instants, emitted by repro.audit when
+    # both an audit log and a tracer are attached; detail = outcome:reason.
+    DECISION_PROMOTE = "decision.promote"
+    DECISION_COLLAPSE = "decision.collapse_node"
+    DECISION_BLOAT = "decision.bloat"
+    DECISION_KNUMAD = "decision.knumad"
+    DECISION_FAULT = "decision.fault_size"
 
     @property
     def subsystem(self) -> str:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro import trace
+from repro import audit, trace
 from repro.kernel.kthread import RateLimiter
 from repro.units import PAGES_PER_HUGE
 
@@ -101,6 +101,10 @@ class KSMThread:
             if pte is None or pte.shared_zero:
                 continue
             host._rmap.pop(pte.frame, None)
+            if audit.enabled and (al := host.audit) is not None \
+                    and al.enabled:
+                al.ledger.record(pte.frame, 1, audit.EV_KSM_MERGED,
+                                 host.zero_registry.zero_frame)
             host.buddy.free(pte.frame, 0)
             pte.frame = host.zero_registry.zero_frame
             pte.shared_zero = True

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import trace
+from repro import audit, trace
 from repro.core.hawkeye import HawkEyePolicy
 from repro.metrics import telemetry
 from repro.kernel.kernel import Kernel, KernelConfig
@@ -14,10 +14,11 @@ from repro.units import MB
 
 @pytest.fixture(autouse=True)
 def _reset_trace():
-    """Disarm the global trace/telemetry flags after every test (isolation)."""
+    """Disarm the global trace/telemetry/audit flags after every test."""
     yield
     trace.reset()
     telemetry.reset()
+    audit.reset()
 
 
 def small_config(mem_mb: int = 64, **overrides) -> KernelConfig:

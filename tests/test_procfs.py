@@ -65,6 +65,7 @@ VMSTAT_KEYS = {
     "bloat_pages_recovered", "compact_pages_moved", "ksm_pages_merged",
     "pgreclaim_file", "oom_kill", "pswpout", "pswpin",
     "trace_attached", "trace_events", "trace_dropped",
+    "audit_attached", "audit_decisions", "audit_dropped",
 }
 
 SMAPS_KEYS = {
