@@ -34,47 +34,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
 from repro.errors import OutOfMemoryError
 from repro.experiments import POLICIES, Scale, fragment, make_kernel
 from repro.kernel import procfs
 from repro.metrics.tables import format_table
 from repro.units import GB, SEC
-from repro.workloads.graph import Graph500, PageRank
-from repro.workloads.haccio import HaccIO
-from repro.workloads.microbench import AllocTouchFree, RandomAccess, SequentialAccess
-from repro.workloads.npb import NPB_SPECS, NPBWorkload
-from repro.workloads.redis import RedisBulkInsert, RedisChurn, RedisFig1, RedisLight
-from repro.workloads.sparsehash import SparseHash
-from repro.workloads.spinup import JVMSpinUp, KVMSpinUp
-from repro.workloads.xsbench import XSBench
-
-#: CLI workload registry: name -> (description, factory(scale_factor)).
-WORKLOADS: dict[str, tuple[str, Callable[[float], object]]] = {
-    "graph500": ("Graph500 BFS, hot data in high VAs",
-                 lambda f: Graph500(scale=f)),
-    "xsbench": ("XSBench Monte Carlo lookups", lambda f: XSBench(scale=f)),
-    "pagerank": ("PageRank over an edge list", lambda f: PageRank(scale=f)),
-    "redis-fig1": ("Figure 1 insert/delete/re-insert churn",
-                   lambda f: RedisFig1(scale=f)),
-    "redis-churn": ("Table 7 churn + serve", lambda f: RedisChurn(scale=f)),
-    "redis-bulk": ("Table 8 2MB-value inserts", lambda f: RedisBulkInsert(scale=f)),
-    "redis-light": ("lightly loaded server (Figure 8)", lambda f: RedisLight(scale=f)),
-    "sparsehash": ("hash-table build (Table 8)", lambda f: SparseHash(scale=f)),
-    "hacc-io": ("in-memory FS checkpoint (Table 8)", lambda f: HaccIO(scale=f)),
-    "kvm-spinup": ("KVM guest spin-up (Table 8)", lambda f: KVMSpinUp(scale=f)),
-    "jvm-spinup": ("JVM spin-up (Table 8)", lambda f: JVMSpinUp(scale=f)),
-    "alloc-touch-free": ("Table 1 microbenchmark",
-                         lambda f: AllocTouchFree(scale=f)),
-    "random-4g": ("Table 9 random scan", lambda f: RandomAccess(scale=f)),
-    "sequential-4g": ("Table 9 sequential scan", lambda f: SequentialAccess(scale=f)),
-}
-for _name in NPB_SPECS:
-    WORKLOADS[_name] = (
-        f"NPB {_name} (Table 3)",
-        lambda f, _n=_name: NPBWorkload(_n, scale=f),
-    )
+from repro.workloads.catalog import WORKLOADS
 
 #: bench shorthand -> pytest file.
 BENCHES = {
@@ -321,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_run_p.add_argument("--require-cached", action="store_true",
                              help="exit 1 if any cell actually executed "
                                   "(CI warm-cache check)")
+    sweep_run_p.add_argument("--scenario", action="append", metavar="FILE",
+                             default=None,
+                             help="register a scenario file as an experiment "
+                                  "before selecting cells (repeatable); with "
+                                  "no explicit selectors, only the scenario "
+                                  "cells run")
 
     sweep_status_p = sweep_sub.add_parser(
         "status", help="show the last sweep's manifest and cache contents")
@@ -329,6 +301,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_clean_p = sweep_sub.add_parser(
         "clean", help="delete cached results and the sweep manifest")
     sweep_common(sweep_clean_p)
+
+    scenario_p = sub.add_parser(
+        "scenario",
+        help="validate, list or run declarative scenario files")
+    scenario_sub = scenario_p.add_subparsers(dest="scenario_command",
+                                             required=True)
+
+    scenario_run_p = scenario_sub.add_parser(
+        "run", help="execute scenario files through the cached sweep runner")
+    scenario_run_p.add_argument("files", nargs="+", metavar="FILE",
+                                help="scenario files (.yaml/.yml/.json)")
+    sweep_common(scenario_run_p)
+    scenario_run_p.add_argument("--jobs", type=int, default=1,
+                                help="worker processes (default 1)")
+    scenario_run_p.add_argument("--timeout", type=float, default=None,
+                                help="per-cell wall-clock budget in seconds "
+                                     "(default 900)")
+    scenario_run_p.add_argument("--retries", type=int, default=None,
+                                help="extra attempts per failed cell "
+                                     "(default 1)")
+    scenario_run_p.add_argument("--scale", type=int, default=128,
+                                help="linear memory scale divisor "
+                                     "(default 128)")
+    scenario_run_p.add_argument("--force", action="store_true",
+                                help="re-execute cells even when cached")
+    scenario_run_p.add_argument("--json", action="store_true",
+                                help="emit per-cell records as JSON Lines")
+    scenario_run_p.add_argument("--csv", metavar="PATH", default=None,
+                                help="also write per-cell records as CSV")
+    scenario_run_p.add_argument("--require-cached", action="store_true",
+                                help="exit 1 if any cell actually executed")
+
+    scenario_validate_p = scenario_sub.add_parser(
+        "validate", help="check scenario files against the schema")
+    scenario_validate_p.add_argument("files", nargs="+", metavar="FILE")
+
+    scenario_list_p = scenario_sub.add_parser(
+        "list", help="list the scenarios in a directory")
+    scenario_list_p.add_argument("--dir", default="examples/scenarios",
+                                 help="directory to scan "
+                                      "(default examples/scenarios)")
 
     report_p = sub.add_parser(
         "report", help="render or regression-check a sweep cache")
@@ -808,8 +821,17 @@ def cmd_top(args) -> int:
     widths = [max(8, len(c)) for c in columns]
     print("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
     state = {"last_t": 0.0, "last_vmstat": None, "last_numastat": None,
-             "last_wall": 0.0, "drawn": False}
+             "last_wall": 0.0, "drawn": False, "painted": 0,
+             "mid_repaint": False}
     watch = getattr(args, "watch", None)
+
+    def _physical_lines(text: str) -> int:
+        """Terminal rows one logical row occupies (wide multi-node rows
+        wrap; the repaint must rewind every wrapped row, not just one)."""
+        import shutil
+
+        width = shutil.get_terminal_size().columns or 80
+        return max(1, -(-len(text) // width))
 
     def snapshot(kernel):
         t_s = kernel.now_us / SEC
@@ -856,11 +878,16 @@ def cmd_top(args) -> int:
         else:
             wall = time.monotonic()
             if not state["drawn"] or wall - state["last_wall"] >= watch:
+                state["mid_repaint"] = True
                 if state["drawn"]:
-                    # repaint in place: up one line, clear, rewrite.
-                    sys.stdout.write("\x1b[1A\r\x1b[2K")
+                    # repaint in place: rewind every terminal row the
+                    # previous paint occupied (a wide multi-node row
+                    # wraps into several), clearing each.
+                    sys.stdout.write("\x1b[1A\r\x1b[2K" * state["painted"])
                 print(line)
                 sys.stdout.flush()
+                state["painted"] = _physical_lines(line)
+                state["mid_repaint"] = False
                 state["last_wall"] = wall
                 state["drawn"] = True
         state["last_t"] = t_s
@@ -876,7 +903,15 @@ def cmd_top(args) -> int:
             trace.attach(kernel, capacity, warn_on_drop=False)
         kernel.epoch_hooks.append(snapshot)
 
-    result = _execute(args.workload, args.policy, args, setup=setup)
+    try:
+        result = _execute(args.workload, args.policy, args, setup=setup)
+    finally:
+        # Ctrl-C can land between the clear sequence and the rewrite,
+        # leaving the cursor on a blanked row; make sure the terminal
+        # is handed back on a fresh line either way.
+        if watch is not None and state["mid_repaint"]:
+            sys.stdout.write("\n")
+            sys.stdout.flush()
     print(f"{args.workload}/{args.policy}: {result['outcome']}, "
           f"{result['time_s']:.1f} simulated s, {result['faults']} faults, "
           f"{result['promotions']} promotions")
@@ -1108,33 +1143,16 @@ def _sweep_paths(args):
     return ResultCache(root), root / "manifest.json"
 
 
-def _cmd_sweep_run(args) -> int:
-    """`repro sweep run`: drive selected cells through the cached runner."""
+def _drive_cells(args, cells, cache, manifest) -> tuple[int, object]:
+    """Shared sweep/scenario drive loop: run, print, export.
+
+    Returns ``(exit_code, SweepReport)``; the exit code covers cache
+    and outcome health, callers may tighten it further (scenario
+    assertions).
+    """
     from repro import runner
     from repro.metrics.export import cells_to_csv, cells_to_jsonl
-    from repro.runner import Manifest, UnknownCellError, run_sweep
-
-    cache, manifest_path = _sweep_paths(args)
-    if args.resume:
-        manifest = Manifest.load(manifest_path)
-        if manifest is None:
-            print(f"nothing to resume: no manifest at {manifest_path}",
-                  file=sys.stderr)
-            return 2
-        cells = manifest.cells()
-        print(f"resuming {len(cells)} cells from {manifest_path} "
-              f"({len(manifest.pending_cells())} incomplete)",
-              file=sys.stderr)
-    else:
-        try:
-            cells = runner.parse_selectors(args.selectors, args.scale)
-        except UnknownCellError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        manifest = Manifest(manifest_path)
-    if not cells:
-        print("no cells selected", file=sys.stderr)
-        return 2
+    from repro.runner import run_sweep
 
     def progress(outcome):
         line = f"  [{outcome.status:>7s}] {outcome.cell.cell_id}"
@@ -1179,8 +1197,155 @@ def _cmd_sweep_run(args) -> int:
     if args.require_cached and report.executed:
         print(f"--require-cached: {report.executed} cells executed "
               f"(expected 100% cache hits)", file=sys.stderr)
+        return 1, report
+    return (0 if report.ok else 1), report
+
+
+def _register_scenario_files(paths) -> list[str]:
+    """Register scenario files; returns their experiment names.
+
+    Raises :class:`repro.scenario.ScenarioError` on an invalid file.
+    """
+    from repro.scenario import register_scenario_file
+
+    return [register_scenario_file(path).name for path in paths]
+
+
+def _cmd_sweep_run(args) -> int:
+    """`repro sweep run`: drive selected cells through the cached runner."""
+    from repro import runner
+    from repro.runner import Manifest, UnknownCellError
+    from repro.scenario import ScenarioError
+
+    cache, manifest_path = _sweep_paths(args)
+    scenario_experiments: list[str] = []
+    if getattr(args, "scenario", None):
+        try:
+            scenario_experiments = _register_scenario_files(args.scenario)
+        except ScenarioError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.resume:
+        manifest = Manifest.load(manifest_path)
+        if manifest is None:
+            print(f"nothing to resume: no manifest at {manifest_path}",
+                  file=sys.stderr)
+            return 2
+        cells = manifest.cells()
+        print(f"resuming {len(cells)} cells from {manifest_path} "
+              f"({len(manifest.pending_cells())} incomplete)",
+              file=sys.stderr)
+    else:
+        selectors = args.selectors
+        if scenario_experiments and selectors == ["all"]:
+            # `--scenario FILE` with no explicit selectors runs exactly
+            # the scenario cells, not every registered experiment.
+            selectors = scenario_experiments
+        try:
+            cells = runner.parse_selectors(selectors, args.scale)
+        except UnknownCellError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        manifest = Manifest(manifest_path)
+    if not cells:
+        print("no cells selected", file=sys.stderr)
+        return 2
+    rc, _ = _drive_cells(args, cells, cache, manifest)
+    return rc
+
+
+def _print_failed_assertions(report) -> int:
+    """Scenario assertion failures to stderr; returns how many failed."""
+    failed = 0
+    for outcome in report.outcomes:
+        result = outcome.result if outcome.good else None
+        if not result:
+            continue
+        for record in result.get("assertions", ()):
+            if not record.get("passed"):
+                failed += 1
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in sorted(record.items())
+                    if k not in ("kind", "passed"))
+                print(f"  assertion failed [{outcome.cell.cell_id}] "
+                      f"{record['kind']}: {detail}", file=sys.stderr)
+    return failed
+
+
+def _cmd_scenario_run(args) -> int:
+    """`repro scenario run`: execute scenario files as sweep cells."""
+    from repro.runner import Manifest, cells_for
+    from repro.scenario import ScenarioError
+
+    cache, manifest_path = _sweep_paths(args)
+    try:
+        experiments = _register_scenario_files(args.files)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cells = [cell for name in experiments
+             for cell in cells_for(name, args.scale)]
+    rc, report = _drive_cells(args, cells, cache, Manifest(manifest_path))
+    failed = _print_failed_assertions(report)
+    if failed:
+        print(f"{failed} scenario assertion(s) failed", file=sys.stderr)
         return 1
-    return 0 if report.ok else 1
+    return rc
+
+
+def _cmd_scenario_validate(args) -> int:
+    """`repro scenario validate`: schema-check files, precise errors."""
+    from repro.scenario import ScenarioError, load_scenario
+
+    bad = 0
+    for path in args.files:
+        try:
+            scenario = load_scenario(path)
+        except ScenarioError as exc:
+            print(f"{path}: INVALID\n  {exc}")
+            bad += 1
+            continue
+        print(f"{path}: ok — scenario {scenario.name!r}, "
+              f"{len(scenario.cases)} case(s) x "
+              f"{len(scenario.policies)} policies, "
+              f"{len(scenario.phases)} phases, "
+              f"{len(scenario.assertions)} assertions")
+    return 1 if bad else 0
+
+
+def _cmd_scenario_list(args) -> int:
+    """`repro scenario list`: table of the scenarios in a directory."""
+    from repro.scenario import ScenarioError, discover_scenarios, load_scenario
+
+    try:
+        paths = discover_scenarios(args.dir)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = []
+    for path in paths:
+        try:
+            s = load_scenario(path)
+            rows.append([path.name, s.name,
+                         "x".join([str(len(s.cases)),
+                                   str(len(s.policies))]),
+                         len(s.phases), s.title[:40]])
+        except ScenarioError as exc:
+            rows.append([path.name, "-", "-", "-", f"INVALID: {exc}"[:60]])
+    print(format_table(
+        ["file", "scenario", "cells", "phases", "title"], rows,
+        title=f"scenarios in {args.dir}",
+    ))
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    """`repro scenario`: dispatch to the run/validate/list sub-commands."""
+    if args.scenario_command == "run":
+        return _cmd_scenario_run(args)
+    if args.scenario_command == "validate":
+        return _cmd_scenario_validate(args)
+    return _cmd_scenario_list(args)
 
 
 def _cmd_sweep_status(args) -> int:
@@ -1310,6 +1475,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_audit(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "scenario":
+        return cmd_scenario(args)
     if args.command == "report":
         return cmd_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

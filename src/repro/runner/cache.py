@@ -16,6 +16,7 @@ leaves a corrupt entry — unreadable entries are treated as misses.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
@@ -62,12 +63,20 @@ def clear_digest_memo() -> None:
     _digest_memo.clear()
 
 
-def cell_key(cell: "Cell", digest: str, version: int = 1) -> str:
-    """Content address of one cell's result."""
-    payload = json.dumps(
-        {"cell": cell.config(), "version": version, "source": digest},
-        sort_keys=True,
-    )
+def cell_key(cell: "Cell", digest: str, version: int = 1,
+             key_material: str = "") -> str:
+    """Content address of one cell's result.
+
+    ``key_material`` is extra experiment-supplied content that joins the
+    hash — scenario-backed experiments pass their scenario file's digest
+    here, so editing the scenario invalidates exactly its own cells.
+    Empty material hashes identically to the historical three-field
+    payload, so stock experiment keys are unchanged.
+    """
+    fields: dict = {"cell": cell.config(), "version": version, "source": digest}
+    if key_material:
+        fields["material"] = key_material
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
@@ -94,15 +103,38 @@ class ResultCache:
         except (OSError, json.JSONDecodeError):
             return None
 
+    #: per-process sequence for unique tmp names (distinct writers in
+    #: one process, e.g. threads, also get distinct names).
+    _tmp_seq = itertools.count()
+
     def put(self, key: str, envelope: dict) -> Path:
-        """Atomically store an envelope; returns its path."""
+        """Atomically store an envelope; returns its path.
+
+        The tmp name is unique per writer (pid + sequence number), so
+        two sweeps sharing a cache dir — CI matrix jobs pointed at one
+        ``$REPRO_SWEEP_CACHE`` — can race on the same key without one
+        renaming the other's half-written file into place.  The final
+        ``os.replace`` stays atomic; last writer wins with an intact
+        envelope either way.
+        """
         self.results_dir.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w") as fh:
-            json.dump(envelope, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, path)
+        tmp = self.results_dir / (
+            f"{key}.{os.getpid()}.{next(self._tmp_seq)}.json.tmp"
+        )
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(envelope, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        finally:
+            # A failed dump (or a crash between dump and rename cleaned
+            # up on the next run) must not leave stray tmp files behind.
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
         return path
 
     def entries(self) -> Iterator[dict]:

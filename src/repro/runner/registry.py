@@ -80,6 +80,11 @@ class Experiment:
     policies: tuple[str, ...]
     run: Callable[[str, str, Scale], dict]
     version: int = 1
+    #: extra content hashed into every cell key (scenario-backed
+    #: experiments put their scenario file's digest here, so an edited
+    #: scenario file invalidates its cached cells the same way a source
+    #: edit does).  Empty for stock experiments — keys are unchanged.
+    key_material: str = ""
 
 
 #: name -> Experiment.  Populated by repro.runner.adapters at import.
@@ -94,6 +99,7 @@ def register(
     run: Callable[[str, str, Scale], dict],
     version: int = 1,
     replace: bool = False,
+    key_material: str = "",
 ) -> Experiment:
     """Register an experiment grid; returns the Experiment record."""
     unknown = [p for p in policies if p not in POLICIES]
@@ -101,7 +107,8 @@ def register(
         raise UnknownCellError(f"unknown policies {unknown} for experiment {name!r}")
     if name in EXPERIMENTS and not replace:
         raise ValueError(f"experiment {name!r} already registered")
-    exp = Experiment(name, title, tuple(cases), tuple(policies), run, version)
+    exp = Experiment(name, title, tuple(cases), tuple(policies), run,
+                     version, key_material)
     EXPERIMENTS[name] = exp
     return exp
 

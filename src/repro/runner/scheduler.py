@@ -103,12 +103,24 @@ def _pool(max_workers: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
 
 
+def _fmt_budget(timeout_s: float) -> str:
+    """Human-readable budget string; sub-second budgets keep precision."""
+    return f"{timeout_s:g}s"
+
+
 def _guarded_execute(cell: Cell, timeout_s: float | None) -> tuple:
     """Run one cell, trapping failure/timeout into a status tuple.
 
     Runs in the worker process (or inline for serial sweeps).  Returns
     ``(status, result, error, wall_s, telemetry)`` — never raises, so a
     worker only dies if the cell takes the whole process down with it.
+
+    The timeout outcome is computed *before* the interval timer is
+    disarmed and the return happens *after*: the alarm can fire at any
+    bytecode boundary, including between the cell finishing and the
+    cleanup running, so the whole compute-and-disarm sequence sits
+    inside one handler that converts a late ``_CellTimeout`` into the
+    timeout outcome instead of letting it escape the contract.
     """
     start = time.perf_counter()
     use_alarm = (
@@ -117,6 +129,7 @@ def _guarded_execute(cell: Cell, timeout_s: float | None) -> tuple:
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
+    outcome: tuple | None = None
     old_handler = None
     if use_alarm:
         def _on_alarm(signum, frame):
@@ -125,45 +138,68 @@ def _guarded_execute(cell: Cell, timeout_s: float | None) -> tuple:
         old_handler = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        result, telemetry = execute_cell_with_telemetry(cell)
-        return ("ok", result, None, time.perf_counter() - start, telemetry)
+        try:
+            result, telemetry = execute_cell_with_telemetry(cell)
+            outcome = ("ok", result, None,
+                       time.perf_counter() - start, telemetry)
+        except _CellTimeout:
+            pass  # fall through to the shared timeout outcome below
+        except Exception:
+            outcome = ("failed", None, traceback.format_exc(limit=8),
+                       time.perf_counter() - start, None)
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, old_handler)
     except _CellTimeout:
-        return ("timeout", None,
-                f"cell exceeded its {timeout_s:.0f}s budget",
-                time.perf_counter() - start, None)
-    except Exception:
-        return ("failed", None, traceback.format_exc(limit=8),
-                time.perf_counter() - start, None)
-    finally:
+        # The alarm fired after the body completed but before the timer
+        # was disarmed: the pending signal raised out of the ``finally``
+        # (or on the way into it).  State may be partially restored, so
+        # redo the disarm idempotently; the already-computed outcome
+        # (if any) survives — the cell did finish, the signal was just
+        # late.  With no computed outcome we fall through to timeout.
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, old_handler)
+            if old_handler is not None:
+                signal.signal(signal.SIGALRM, old_handler)
+    if outcome is None:
+        outcome = ("timeout", None,
+                   f"cell exceeded its {_fmt_budget(timeout_s)} budget",
+                   time.perf_counter() - start, None)
+    return outcome
 
 
 def _execute_round(cells: list[Cell], jobs: int,
                    timeout_s: float | None) -> list[tuple[Cell, tuple]]:
-    """One attempt at every cell; crash-isolated when pooled."""
+    """One attempt at every cell; crash-isolated when pooled.
+
+    Pooled results are *collected* in completion order (``as_completed``
+    keeps the sweep responsive) but *returned* in submission order, so
+    everything downstream — retry scheduling, manifest marks, progress
+    callbacks — observes the same deterministic cell order regardless of
+    worker count.
+    """
     if not cells:
         return []
     if jobs <= 1:
         return [(cell, _guarded_execute(cell, timeout_s)) for cell in cells]
-    out: list[tuple[Cell, tuple]] = []
+    settled: dict[Cell, tuple] = {}
     with _pool(min(jobs, len(cells))) as pool:
         futures = {pool.submit(_guarded_execute, cell, timeout_s): cell
                    for cell in cells}
         for future in as_completed(futures):
             cell = futures[future]
             try:
-                out.append((cell, future.result()))
+                settled[cell] = future.result()
             except BrokenProcessPool:
                 # A worker died; every cell in flight on the broken pool
                 # reports a crash (retried on the next round's new pool).
-                out.append((cell, ("crashed", None,
-                                   "worker process died while running this cell",
-                                   0.0, None)))
+                settled[cell] = ("crashed", None,
+                                 "worker process died while running this cell",
+                                 0.0, None)
             except Exception as exc:  # submission/pickling problems
-                out.append((cell, ("failed", None, repr(exc), 0.0, None)))
-    return out
+                settled[cell] = ("failed", None, repr(exc), 0.0, None)
+    return [(cell, settled[cell]) for cell in cells]
 
 
 def _execute_isolated(cells: list[Cell],
@@ -238,10 +274,10 @@ def run_sweep(
     """
     started = time.perf_counter()
     digest = source_digest()
-    keys = {
-        cell: cell_key(cell, digest, get_experiment(cell.experiment).version)
-        for cell in cells
-    }
+    keys = {}
+    for cell in cells:
+        exp = get_experiment(cell.experiment)
+        keys[cell] = cell_key(cell, digest, exp.version, exp.key_material)
     if manifest is not None:
         manifest.begin(cells, keys, digest, jobs)
         manifest.save()

@@ -1,0 +1,37 @@
+"""Declarative scenarios: versioned schema, loader, timeline executor.
+
+See docs/usage.md ("Author a scenario") for the full schema reference
+and examples/scenarios/ for runnable documents.
+"""
+
+from repro.scenario.executor import (
+    discover_scenarios,
+    experiment_name,
+    register_scenario,
+    register_scenario_file,
+    run_scenario_case,
+)
+from repro.scenario.schema import (
+    SCHEMA_VERSION,
+    Scenario,
+    ScenarioError,
+    load_scenario,
+    parse_scenario_text,
+    scenario_digest,
+    validate_scenario,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "discover_scenarios",
+    "experiment_name",
+    "load_scenario",
+    "parse_scenario_text",
+    "register_scenario",
+    "register_scenario_file",
+    "run_scenario_case",
+    "scenario_digest",
+    "validate_scenario",
+]

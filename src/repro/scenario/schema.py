@@ -1,0 +1,655 @@
+"""Versioned declarative scenario schema and validating loader.
+
+A *scenario* is a JSON or YAML document describing a multi-process
+experiment as data: a machine, a grid of policy columns (and optional
+case variants), a phased timeline — spawn/kill/restart workloads from
+the catalog, fragmenter bursts, memory hogs, balloon inflation, NUMA
+node pressure — and in-scenario assertions (bloat ceiling, p99 fault
+latency, fairness spread).  ``load_scenario`` parses and validates the
+document; :mod:`repro.scenario.executor` compiles the result into
+registry cells and drives the kernel epoch loop.
+
+Validation is exhaustive and failures carry a precise dotted/indexed
+path plus a did-you-mean suggestion where one exists::
+
+    scenario.phases[2].spawn.workload: unknown workload 'redsi', did you mean 'redis-fig1'?
+
+Schema version 1 (the ``scenario`` key) is the only one understood; the
+full field reference lives in docs/usage.md.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments import POLICIES
+
+#: the schema version this loader understands.
+SCHEMA_VERSION = 1
+
+#: simulated seconds per epoch at the default epoch_us; phase ``run_s``
+#: counts epochs, which are 1 simulated second each.
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+_ASSERTION_KINDS = ("bloat-ceiling", "fault-p99", "fairness-spread")
+_FAIRNESS_METRICS = ("rss_mb_full", "faults", "mmu_overhead")
+_MEMPOLICIES = ("local", "interleave", "preferred", "bind")
+
+#: every key a phase mapping may carry, in the order actions apply.
+PHASE_ACTION_ORDER = ("kill", "restart", "spawn", "hog", "balloon",
+                      "node_pressure", "fragment")
+_PHASE_KEYS = ("name",) + PHASE_ACTION_ORDER + ("run_s",)
+
+
+class ScenarioError(ReproError, ValueError):
+    """A scenario document failed validation.
+
+    ``path`` is the dotted/indexed location of the offending field
+    (``scenario.phases[2].spawn.workload``); ``str()`` renders
+    ``<path>: <message>``.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}")
+
+
+def _suggest(value: str, options) -> str:
+    """``, did you mean '...'?`` when a close match exists, else ''."""
+    matches = difflib.get_close_matches(str(value), list(options), n=1,
+                                        cutoff=0.5)
+    return f", did you mean {matches[0]!r}?" if matches else ""
+
+
+# --------------------------------------------------------------------- #
+# validated model                                                        #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The kernel the scenario builds (full-scale sizes; see Scale)."""
+
+    mem_gb: float = 48.0
+    numa_nodes: int = 1
+    numa_balance: bool = False
+    swap_gb: float = 0.0
+    boot_zeroed: bool = True
+
+
+@dataclass(frozen=True)
+class SpawnSpec:
+    """One ``spawn`` action: launch catalog workload(s)."""
+
+    workload: str
+    name: str
+    count: int = 1
+    node: int | None = None
+    mempolicy: str | None = None
+
+
+@dataclass(frozen=True)
+class HogSpec:
+    """One ``hog`` action: a resident anonymous-memory hog."""
+
+    gb: float
+    name: str
+    hold_s: float = 3600.0
+    node: int | None = None
+
+
+@dataclass(frozen=True)
+class BalloonSpec:
+    """One ``balloon`` action: take frames straight from the buddy."""
+
+    gb: float = 0.0
+    release: bool = False
+
+
+@dataclass(frozen=True)
+class NodePressureSpec:
+    """One ``node_pressure`` action: a balloon pinned to one NUMA node."""
+
+    node: int
+    gb: float
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """One ``fragment`` action: a fragmenter burst."""
+
+    keep_fraction: float = 0.1
+    target_fmfi: float | None = None
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One timeline phase: actions applied in a fixed order, then
+    ``run_s`` epochs of the kernel loop."""
+
+    name: str
+    kill: tuple[str, ...] = ()
+    restart: tuple[str, ...] = ()
+    spawn: tuple[SpawnSpec, ...] = ()
+    hog: tuple[HogSpec, ...] = ()
+    balloon: BalloonSpec | None = None
+    node_pressure: tuple[NodePressureSpec, ...] = ()
+    fragment: FragmentSpec | None = None
+    run_s: int = 0
+
+
+@dataclass(frozen=True)
+class AssertionSpec:
+    """One in-scenario assertion, checked after the timeline drains.
+
+    * ``bloat-ceiling`` — RSS minus useful bytes, descaled to full-scale
+      MB, per ``process`` or totalled, must stay <= ``max_mb``.
+    * ``fault-p99`` — the p99 of the merged fault-latency log2
+      histograms (base+huge+COW) must stay <= ``max_us``.
+    * ``fairness-spread`` — max/min of ``metric`` across processes must
+      stay <= ``max_ratio``.
+    """
+
+    kind: str
+    max_mb: float | None = None
+    max_us: float | None = None
+    max_ratio: float | None = None
+    metric: str | None = None
+    process: str | None = None
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One case variant: a name plus machine overrides."""
+
+    name: str
+    machine: MachineSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully validated scenario document."""
+
+    name: str
+    title: str
+    description: str
+    policies: tuple[str, ...]
+    cases: tuple[CaseSpec, ...]
+    phases: tuple[PhaseSpec, ...]
+    assertions: tuple[AssertionSpec, ...]
+    max_epochs: int = 6000
+    drain: bool = True
+    #: sha256 over the canonical JSON of the parsed document — the
+    #: cache-key material, so editing the scenario invalidates exactly
+    #: its own cells (whitespace/comment edits do not).
+    digest: str = ""
+    #: where the document came from (diagnostics only; not hashed).
+    source_path: str = ""
+
+    def case_names(self) -> tuple[str, ...]:
+        """The case column of the scenario's grid, in document order."""
+        return tuple(case.name for case in self.cases)
+
+    def case(self, name: str) -> CaseSpec:
+        """Look up one case variant by name; raises KeyError."""
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+
+# --------------------------------------------------------------------- #
+# validation primitives                                                  #
+# --------------------------------------------------------------------- #
+
+
+def _expect_mapping(value, path: str, allowed: tuple[str, ...],
+                    required: tuple[str, ...] = ()) -> dict:
+    if not isinstance(value, dict):
+        raise ScenarioError(path, f"expected a mapping, got {type(value).__name__}")
+    for key in value:
+        if not isinstance(key, str) or key not in allowed:
+            raise ScenarioError(f"{path}.{key}",
+                                f"unknown key {key!r}{_suggest(key, allowed)}")
+    for key in required:
+        if key not in value:
+            raise ScenarioError(path, f"missing required key {key!r}")
+    return value
+
+
+def _expect_str(value, path: str) -> str:
+    if not isinstance(value, str):
+        raise ScenarioError(path, f"expected a string, got {type(value).__name__}")
+    return value
+
+
+def _expect_name(value, path: str) -> str:
+    name = _expect_str(value, path)
+    if not _NAME_RE.match(name):
+        raise ScenarioError(
+            path, f"invalid name {name!r} (want lowercase [a-z0-9._-])")
+    return name
+
+
+def _expect_bool(value, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise ScenarioError(path, f"expected a boolean, got {type(value).__name__}")
+    return value
+
+
+def _expect_number(value, path: str, *, minimum=None, maximum=None) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(path, f"expected a number, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ScenarioError(path, f"must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ScenarioError(path, f"must be <= {maximum}, got {value}")
+    return float(value)
+
+
+def _expect_int(value, path: str, *, minimum=None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(path, f"expected an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ScenarioError(path, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _expect_choice(value, path: str, options) -> str:
+    name = _expect_str(value, path)
+    if name not in options:
+        raise ScenarioError(
+            path, f"unknown {path.rsplit('.', 1)[-1]} {name!r}"
+                  f"{_suggest(name, options)}")
+    return name
+
+
+def _listify(value, path: str) -> list[tuple[object, str]]:
+    """A value that may be one item or a list: ``(item, item_path)``."""
+    if isinstance(value, list):
+        return [(item, f"{path}[{i}]") for i, item in enumerate(value)]
+    return [(value, path)]
+
+
+# --------------------------------------------------------------------- #
+# section validators                                                     #
+# --------------------------------------------------------------------- #
+
+
+def _workload_names() -> tuple[str, ...]:
+    from repro.workloads.catalog import WORKLOADS
+
+    return tuple(sorted(WORKLOADS))
+
+
+def _validate_machine(value, path: str, base: MachineSpec) -> MachineSpec:
+    raw = _expect_mapping(value, path, ("mem_gb", "numa_nodes", "numa_balance",
+                                        "swap_gb", "boot_zeroed"))
+    spec = MachineSpec(
+        mem_gb=_expect_number(raw["mem_gb"], f"{path}.mem_gb", minimum=1e-3)
+        if "mem_gb" in raw else base.mem_gb,
+        numa_nodes=_expect_int(raw["numa_nodes"], f"{path}.numa_nodes", minimum=1)
+        if "numa_nodes" in raw else base.numa_nodes,
+        numa_balance=_expect_bool(raw["numa_balance"], f"{path}.numa_balance")
+        if "numa_balance" in raw else base.numa_balance,
+        swap_gb=_expect_number(raw["swap_gb"], f"{path}.swap_gb", minimum=0)
+        if "swap_gb" in raw else base.swap_gb,
+        boot_zeroed=_expect_bool(raw["boot_zeroed"], f"{path}.boot_zeroed")
+        if "boot_zeroed" in raw else base.boot_zeroed,
+    )
+    if spec.numa_balance and spec.numa_nodes < 2:
+        raise ScenarioError(f"{path}.numa_balance",
+                            "needs numa_nodes >= 2 to balance anything")
+    return spec
+
+
+def _validate_node(raw: dict, path: str, key: str, nodes: int) -> int | None:
+    if key not in raw:
+        return None
+    node = _expect_int(raw[key], f"{path}.{key}", minimum=0)
+    if node >= nodes:
+        raise ScenarioError(f"{path}.{key}",
+                            f"node {node} out of range (machine has {nodes})")
+    return node
+
+
+def _validate_spawn(value, path: str, nodes: int, index: int) -> SpawnSpec:
+    raw = _expect_mapping(value, path,
+                          ("workload", "name", "count", "node", "mempolicy"),
+                          required=("workload",))
+    workloads = _workload_names()
+    workload = _expect_str(raw["workload"], f"{path}.workload")
+    if workload not in workloads:
+        raise ScenarioError(f"{path}.workload",
+                            f"unknown workload {workload!r}"
+                            f"{_suggest(workload, workloads)}")
+    name = (_expect_name(raw["name"], f"{path}.name")
+            if "name" in raw else f"{workload}-{index}")
+    count = (_expect_int(raw["count"], f"{path}.count", minimum=1)
+             if "count" in raw else 1)
+    mempolicy = (_expect_choice(raw["mempolicy"], f"{path}.mempolicy",
+                                _MEMPOLICIES)
+                 if "mempolicy" in raw else None)
+    return SpawnSpec(workload=workload, name=name, count=count,
+                     node=_validate_node(raw, path, "node", nodes),
+                     mempolicy=mempolicy)
+
+
+def _validate_hog(value, path: str, nodes: int, index: int) -> HogSpec:
+    raw = _expect_mapping(value, path, ("gb", "name", "hold_s", "node"),
+                          required=("gb",))
+    return HogSpec(
+        gb=_expect_number(raw["gb"], f"{path}.gb", minimum=1e-3),
+        name=(_expect_name(raw["name"], f"{path}.name")
+              if "name" in raw else f"hog-{index}"),
+        hold_s=(_expect_number(raw["hold_s"], f"{path}.hold_s", minimum=0)
+                if "hold_s" in raw else 3600.0),
+        node=_validate_node(raw, path, "node", nodes),
+    )
+
+
+def _validate_balloon(value, path: str) -> BalloonSpec:
+    raw = _expect_mapping(value, path, ("gb", "release"))
+    release = (_expect_bool(raw["release"], f"{path}.release")
+               if "release" in raw else False)
+    gb = (_expect_number(raw["gb"], f"{path}.gb", minimum=1e-3)
+          if "gb" in raw else 0.0)
+    if not release and "gb" not in raw:
+        raise ScenarioError(path, "needs 'gb' (inflate) or 'release: true'")
+    return BalloonSpec(gb=gb, release=release)
+
+
+def _validate_node_pressure(value, path: str, nodes: int) -> NodePressureSpec:
+    raw = _expect_mapping(value, path, ("node", "gb"), required=("node", "gb"))
+    if nodes < 2:
+        raise ScenarioError(path, "needs a multi-node machine "
+                                  "(machine.numa_nodes >= 2)")
+    node = _validate_node(raw, path, "node", nodes)
+    return NodePressureSpec(
+        node=node,
+        gb=_expect_number(raw["gb"], f"{path}.gb", minimum=1e-3),
+    )
+
+
+def _validate_fragment(value, path: str) -> FragmentSpec:
+    raw = _expect_mapping(value, path, ("keep_fraction", "target_fmfi"))
+    target = (_expect_number(raw["target_fmfi"], f"{path}.target_fmfi",
+                             minimum=0.0, maximum=1.0)
+              if "target_fmfi" in raw else None)
+    return FragmentSpec(
+        keep_fraction=(_expect_number(raw["keep_fraction"],
+                                      f"{path}.keep_fraction",
+                                      minimum=0.0, maximum=1.0)
+                       if "keep_fraction" in raw else 0.1),
+        target_fmfi=target,
+    )
+
+
+@dataclass
+class _NameTracker:
+    """Spawn-order bookkeeping: which process names exist when."""
+
+    known: set = field(default_factory=set)
+
+    def add(self, name: str, path: str) -> None:
+        if name in self.known:
+            raise ScenarioError(path, f"duplicate process name {name!r}")
+        self.known.add(name)
+
+    def require(self, name, path: str) -> str:
+        name = _expect_str(name, path)
+        if name not in self.known:
+            raise ScenarioError(
+                path, f"unknown process {name!r} (not spawned in an "
+                      f"earlier phase){_suggest(name, self.known)}")
+        return name
+
+
+def _validate_phase(value, path: str, index: int, nodes: int,
+                    names: _NameTracker) -> PhaseSpec:
+    raw = _expect_mapping(value, path, _PHASE_KEYS)
+    name = (_expect_name(raw["name"], f"{path}.name")
+            if "name" in raw else f"phase-{index}")
+
+    kills = tuple(names.require(item, ipath)
+                  for item, ipath in _listify(raw.get("kill", []), f"{path}.kill"))
+    restarts = tuple(names.require(item, ipath)
+                     for item, ipath in _listify(raw.get("restart", []),
+                                                 f"{path}.restart"))
+    spawns = []
+    for k, (item, ipath) in enumerate(_listify(raw.get("spawn", []),
+                                               f"{path}.spawn")):
+        spec = _validate_spawn(item, ipath, nodes, index=len(names.known))
+        if spec.count == 1:
+            names.add(spec.name, f"{ipath}.name")
+        else:
+            for j in range(spec.count):
+                names.add(f"{spec.name}-{j}", f"{ipath}.name")
+        spawns.append(spec)
+    hogs = []
+    for item, ipath in _listify(raw.get("hog", []), f"{path}.hog"):
+        spec = _validate_hog(item, ipath, nodes, index=len(names.known))
+        names.add(spec.name, f"{ipath}.name")
+        hogs.append(spec)
+    pressure = tuple(_validate_node_pressure(item, ipath, nodes)
+                     for item, ipath in _listify(raw.get("node_pressure", []),
+                                                 f"{path}.node_pressure"))
+    return PhaseSpec(
+        name=name,
+        kill=kills,
+        restart=restarts,
+        spawn=tuple(spawns),
+        hog=tuple(hogs),
+        balloon=(_validate_balloon(raw["balloon"], f"{path}.balloon")
+                 if "balloon" in raw else None),
+        node_pressure=pressure,
+        fragment=(_validate_fragment(raw["fragment"], f"{path}.fragment")
+                  if "fragment" in raw else None),
+        run_s=(_expect_int(raw["run_s"], f"{path}.run_s", minimum=0)
+               if "run_s" in raw else 0),
+    )
+
+
+def _validate_assertion(value, path: str, names: _NameTracker) -> AssertionSpec:
+    raw = _expect_mapping(value, path,
+                          ("kind", "max_mb", "max_us", "max_ratio",
+                           "metric", "process"),
+                          required=("kind",))
+    kind = _expect_str(raw["kind"], f"{path}.kind")
+    if kind not in _ASSERTION_KINDS:
+        raise ScenarioError(f"{path}.kind",
+                            f"unknown assertion kind {kind!r}"
+                            f"{_suggest(kind, _ASSERTION_KINDS)}")
+    wanted = {"bloat-ceiling": ("max_mb",), "fault-p99": ("max_us",),
+              "fairness-spread": ("max_ratio",)}[kind]
+    allowed_extra = {"bloat-ceiling": ("process",), "fault-p99": (),
+                     "fairness-spread": ("metric",)}[kind]
+    for key in raw:
+        if key != "kind" and key not in wanted + allowed_extra:
+            raise ScenarioError(f"{path}.{key}",
+                                f"key {key!r} not valid for kind {kind!r}")
+    for key in wanted:
+        if key not in raw:
+            raise ScenarioError(path, f"kind {kind!r} needs {key!r}")
+    process = (names.require(raw["process"], f"{path}.process")
+               if "process" in raw else None)
+    metric = (_expect_choice(raw["metric"], f"{path}.metric",
+                             _FAIRNESS_METRICS)
+              if "metric" in raw else "rss_mb_full")
+    return AssertionSpec(
+        kind=kind,
+        max_mb=(_expect_number(raw["max_mb"], f"{path}.max_mb", minimum=0)
+                if "max_mb" in raw else None),
+        max_us=(_expect_number(raw["max_us"], f"{path}.max_us", minimum=0)
+                if "max_us" in raw else None),
+        max_ratio=(_expect_number(raw["max_ratio"], f"{path}.max_ratio",
+                                  minimum=1.0)
+                   if "max_ratio" in raw else None),
+        metric=metric if kind == "fairness-spread" else None,
+        process=process,
+    )
+
+
+# --------------------------------------------------------------------- #
+# document-level validation and loading                                  #
+# --------------------------------------------------------------------- #
+
+_TOP_KEYS = ("scenario", "name", "title", "description", "machine",
+             "policies", "cases", "phases", "assertions", "max_epochs",
+             "drain")
+
+
+def validate_scenario(document, *, digest: str = "",
+                      source_path: str = "") -> Scenario:
+    """Validate a parsed scenario document into a :class:`Scenario`.
+
+    Raises :class:`ScenarioError` with a precise field path on the
+    first problem found.
+    """
+    raw = _expect_mapping(document, "scenario",
+                          _TOP_KEYS, required=("scenario", "name",
+                                               "policies", "phases"))
+    version = _expect_int(raw["scenario"], "scenario.scenario")
+    if version != SCHEMA_VERSION:
+        raise ScenarioError("scenario.scenario",
+                            f"unsupported schema version {version} "
+                            f"(this loader understands {SCHEMA_VERSION})")
+    name = _expect_name(raw["name"], "scenario.name")
+    title = (_expect_str(raw["title"], "scenario.title")
+             if "title" in raw else name)
+    description = (_expect_str(raw["description"], "scenario.description")
+                   if "description" in raw else "")
+
+    if not isinstance(raw["policies"], list) or not raw["policies"]:
+        raise ScenarioError("scenario.policies",
+                            "expected a non-empty list of policy names")
+    policies = []
+    for i, item in enumerate(raw["policies"]):
+        policy = _expect_str(item, f"scenario.policies[{i}]")
+        if policy not in POLICIES:
+            raise ScenarioError(f"scenario.policies[{i}]",
+                                f"unknown policy {policy!r}"
+                                f"{_suggest(policy, sorted(POLICIES))}")
+        if policy in policies:
+            raise ScenarioError(f"scenario.policies[{i}]",
+                                f"duplicate policy {policy!r}")
+        policies.append(policy)
+
+    base_machine = _validate_machine(raw.get("machine", {}),
+                                     "scenario.machine", MachineSpec())
+
+    cases: list[CaseSpec] = []
+    if "cases" in raw:
+        if not isinstance(raw["cases"], list) or not raw["cases"]:
+            raise ScenarioError("scenario.cases",
+                                "expected a non-empty list of case mappings")
+        for i, item in enumerate(raw["cases"]):
+            cpath = f"scenario.cases[{i}]"
+            craw = _expect_mapping(item, cpath, ("name", "machine"),
+                                   required=("name",))
+            cname = _expect_name(craw["name"], f"{cpath}.name")
+            if any(c.name == cname for c in cases):
+                raise ScenarioError(f"{cpath}.name",
+                                    f"duplicate case name {cname!r}")
+            machine = _validate_machine(craw.get("machine", {}),
+                                        f"{cpath}.machine", base_machine)
+            cases.append(CaseSpec(cname, machine))
+    else:
+        cases.append(CaseSpec("timeline", base_machine))
+
+    max_epochs = (_expect_int(raw["max_epochs"], "scenario.max_epochs",
+                              minimum=1)
+                  if "max_epochs" in raw else 6000)
+    drain = (_expect_bool(raw["drain"], "scenario.drain")
+             if "drain" in raw else True)
+
+    if not isinstance(raw["phases"], list) or not raw["phases"]:
+        raise ScenarioError("scenario.phases",
+                            "expected a non-empty list of phase mappings")
+    # node-indexed actions must be valid on every case's machine, so
+    # validate against the smallest node count in the grid.
+    min_nodes = min(case.machine.numa_nodes for case in cases)
+    names = _NameTracker()
+    phases = tuple(
+        _validate_phase(item, f"scenario.phases[{i}]", i, min_nodes, names)
+        for i, item in enumerate(raw["phases"])
+    )
+    budget = sum(phase.run_s for phase in phases)
+    if budget > max_epochs:
+        raise ScenarioError("scenario.max_epochs",
+                            f"phase run_s total {budget} exceeds "
+                            f"max_epochs {max_epochs}")
+
+    assertions = ()
+    if "assertions" in raw:
+        if not isinstance(raw["assertions"], list):
+            raise ScenarioError("scenario.assertions",
+                                "expected a list of assertion mappings")
+        assertions = tuple(
+            _validate_assertion(item, f"scenario.assertions[{i}]", names)
+            for i, item in enumerate(raw["assertions"])
+        )
+
+    return Scenario(
+        name=name, title=title, description=description,
+        policies=tuple(policies), cases=tuple(cases), phases=phases,
+        assertions=assertions, max_epochs=max_epochs, drain=drain,
+        digest=digest or scenario_digest(document),
+        source_path=source_path,
+    )
+
+
+def scenario_digest(document) -> str:
+    """sha256 over the canonical JSON of a parsed scenario document.
+
+    Hashing the *parsed* content (not file bytes) means whitespace and
+    comment edits keep the cache warm while any meaningful edit changes
+    every affected cell key.
+    """
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def parse_scenario_text(text: str, *, path: str = "<string>") -> dict:
+    """Parse scenario text: JSON always, YAML when PyYAML is available."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError("scenario", f"invalid JSON in {path}: {exc}")
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - yaml is in the toolchain
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            raise ScenarioError(
+                "scenario",
+                f"{path} is not JSON and PyYAML is not installed")
+    try:
+        document = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ScenarioError("scenario", f"invalid YAML in {path}: {exc}")
+    if document is None:
+        raise ScenarioError("scenario", f"{path} is empty")
+    return document
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load and validate a scenario file (.yaml/.yml/.json)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError("scenario", f"cannot read {path}: {exc}")
+    document = parse_scenario_text(text, path=str(path))
+    return validate_scenario(document, digest=scenario_digest(document),
+                             source_path=str(path))

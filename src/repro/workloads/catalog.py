@@ -17,6 +17,7 @@ zero-scan cost through the frame-table scan model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.patterns import Pattern
 
@@ -156,3 +157,88 @@ def suites() -> list[str]:
 def apps_in(suite: str) -> list[AppProfile]:
     """All catalogued applications of one suite."""
     return [a for a in APPLICATIONS if a.suite == suite]
+
+
+# ---------------------------------------------------------------------- #
+# runnable workload registry                                              #
+# ---------------------------------------------------------------------- #
+
+
+def _build_workloads() -> dict[str, tuple[str, Callable[[float], object]]]:
+    """name -> (description, factory(scale_factor)).
+
+    The single registry the CLI and the scenario DSL resolve workload
+    names through.  Imports are deferred so ``import
+    repro.workloads.catalog`` stays cheap for the Table 2 consumers.
+    """
+    from repro.workloads.graph import Graph500, PageRank
+    from repro.workloads.haccio import HaccIO
+    from repro.workloads.hog import MemoryHog
+    from repro.workloads.microbench import (
+        AllocTouchFree,
+        RandomAccess,
+        SequentialAccess,
+    )
+    from repro.workloads.npb import NPB_SPECS, NPBWorkload
+    from repro.workloads.redis import (
+        RedisBulkInsert,
+        RedisChurn,
+        RedisFig1,
+        RedisLight,
+    )
+    from repro.workloads.sparsehash import SparseHash
+    from repro.workloads.spinup import JVMSpinUp, KVMSpinUp
+    from repro.workloads.xsbench import XSBench
+
+    registry: dict[str, tuple[str, Callable[[float], object]]] = {
+        "graph500": ("Graph500 BFS, hot data in high VAs",
+                     lambda f: Graph500(scale=f)),
+        "xsbench": ("XSBench Monte Carlo lookups", lambda f: XSBench(scale=f)),
+        "pagerank": ("PageRank over an edge list", lambda f: PageRank(scale=f)),
+        "redis-fig1": ("Figure 1 insert/delete/re-insert churn",
+                       lambda f: RedisFig1(scale=f)),
+        "redis-churn": ("Table 7 churn + serve", lambda f: RedisChurn(scale=f)),
+        "redis-bulk": ("Table 8 2MB-value inserts",
+                       lambda f: RedisBulkInsert(scale=f)),
+        "redis-light": ("lightly loaded server (Figure 8)",
+                        lambda f: RedisLight(scale=f)),
+        "sparsehash": ("hash-table build (Table 8)",
+                       lambda f: SparseHash(scale=f)),
+        "hacc-io": ("in-memory FS checkpoint (Table 8)",
+                    lambda f: HaccIO(scale=f)),
+        "kvm-spinup": ("KVM guest spin-up (Table 8)",
+                       lambda f: KVMSpinUp(scale=f)),
+        "jvm-spinup": ("JVM spin-up (Table 8)", lambda f: JVMSpinUp(scale=f)),
+        "alloc-touch-free": ("Table 1 microbenchmark",
+                             lambda f: AllocTouchFree(scale=f)),
+        "random-4g": ("Table 9 random scan", lambda f: RandomAccess(scale=f)),
+        "sequential-4g": ("Table 9 sequential scan",
+                          lambda f: SequentialAccess(scale=f)),
+        "memhog": ("resident 8 GB memory hog (scenario perturbation)",
+                   lambda f: MemoryHog(scale=f)),
+    }
+    for _name in NPB_SPECS:
+        registry[_name] = (
+            f"NPB {_name} (Table 3)",
+            lambda f, _n=_name: NPBWorkload(_n, scale=f),
+        )
+    return registry
+
+
+#: runnable workload registry: name -> (description, factory(scale_factor)).
+WORKLOADS = _build_workloads()
+
+
+def workload_names() -> list[str]:
+    """Registered runnable workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def make_workload(name: str, scale_factor: float):
+    """Instantiate a catalogued workload at ``scale_factor``."""
+    try:
+        _, factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; have {workload_names()}") from None
+    return factory(scale_factor)

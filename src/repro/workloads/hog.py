@@ -1,0 +1,41 @@
+"""A resident anonymous-memory hog.
+
+The scenario DSL's ``hog`` perturbation: grab a footprint, touch every
+page so it is genuinely resident (non-zero content — a hog is data, not
+bloat), then hold it for a configurable time.  Squeezes the free-memory
+headroom every other process sees, the way a co-tenant batch job would.
+"""
+
+from __future__ import annotations
+
+from repro.units import GB, SEC
+from repro.workloads.base import (
+    ContentSpec,
+    MmapOp,
+    Phase,
+    SleepOp,
+    TouchOp,
+    Workload,
+)
+
+
+class MemoryHog(Workload):
+    """Allocate ``footprint_bytes``, touch it all, hold for ``hold_us``."""
+
+    name = "memhog"
+
+    def __init__(self, footprint_bytes: float = 8 * GB,
+                 hold_us: float = 3600 * SEC, scale: float = 1.0):
+        self.footprint_bytes = int(footprint_bytes * scale)
+        #: hold time is simulated time and deliberately unscaled.
+        self.hold_us = hold_us
+
+    def build_phases(self) -> list[Phase]:
+        """mmap + touch the footprint, then sleep out the hold time."""
+        ops = [
+            MmapOp("hog", self.footprint_bytes),
+            TouchOp("hog", content=ContentSpec(first_nonzero=0)),
+        ]
+        if self.hold_us > 0:
+            ops.append(SleepOp(self.hold_us))
+        return [Phase("hog", ops=ops)]

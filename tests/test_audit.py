@@ -242,6 +242,24 @@ def test_cli_top_watch(capsys):
     assert "sequential-4g/" in out
 
 
+def test_cli_top_watch_rewinds_wrapped_rows(capsys, monkeypatch):
+    """A row wider than the terminal wraps into several physical lines;
+    the repaint must rewind all of them, not just one (drift bug)."""
+    import os
+    import shutil
+
+    monkeypatch.setattr(shutil, "get_terminal_size",
+                        lambda fallback=(80, 24): os.terminal_size((20, 24)))
+    rc = main(["top", "sequential-4g", "--scale", "256",
+               "--max-epochs", "40", "--interval", "0", "--watch", "0"])
+    assert rc in (0, 1)
+    out = capsys.readouterr().out
+    # every repaint row is ~100 chars -> 5 physical lines at width 20;
+    # the clear sequence must repeat once per physical line.
+    assert "\x1b[1A\r\x1b[2K" * 5 in out
+    assert "\x1b[1A\r\x1b[2K" * 6 not in out
+
+
 def test_cli_why_filters_by_region(capsys):
     rc = main(["why", "kvm-spinup", *_FAST, "--region", "999999"])
     assert rc == 0

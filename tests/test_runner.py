@@ -121,6 +121,10 @@ def test_cell_key_sensitivity():
     assert key != cell_key(Cell("smoke", "touch", "linux-4kb", 64), digest)
     assert key != cell_key(a, "0" * 64)          # source changed
     assert key != cell_key(a, digest, version=2)  # semantics changed
+    # extra key material (scenario digests) joins the hash; empty
+    # material keeps the historical key
+    assert key == cell_key(a, digest, key_material="")
+    assert key != cell_key(a, digest, key_material="scenario:abc123")
 
 
 def test_cache_roundtrip_and_corruption(tmp_path):
@@ -135,6 +139,44 @@ def test_cache_roundtrip_and_corruption(tmp_path):
     assert cache.get("abc") is None  # corrupt entry = miss, not an error
     assert cache.clear() == 1
     assert len(cache) == 0
+
+
+def test_cache_put_interleaved_writers_same_key(tmp_path, monkeypatch):
+    """Two writers racing on one key must both complete and leave an
+    intact envelope.
+
+    Pre-fix both writers used the deterministic ``<key>.json.tmp``
+    name: the second writer truncated the first's tmp file and renamed
+    it into place, after which the first writer wrote its tail into the
+    *renamed* inode (corrupting the published envelope) and then blew
+    up renaming its now-missing tmp.  The interleave is reproduced
+    deterministically by nesting the second ``put`` between the first
+    writer's dump and its rename.
+    """
+    import repro.runner.cache as cache_mod
+
+    cache = ResultCache(tmp_path)
+    key = "cafebabe"
+    first = {"key": key, "result": {"writer": "first", "pad": "x" * 4096}}
+    second = {"key": key, "result": {"writer": "second"}}
+    real_dump = json.dump
+    state = {"nested": False}
+
+    def interleaved_dump(obj, fh, **kwargs):
+        real_dump(obj, fh, **kwargs)
+        if not state["nested"]:
+            state["nested"] = True
+            # a second sweep process publishes the same key between
+            # this writer's dump and its rename
+            ResultCache(tmp_path).put(key, second)
+
+    monkeypatch.setattr(cache_mod.json, "dump", interleaved_dump)
+    cache.put(key, first)  # must not raise
+    monkeypatch.undo()
+    stored = cache.get(key)
+    assert stored in (first, second)  # last-writer-wins, but intact
+    # no stray tmp files left behind either way
+    assert list(cache.results_dir.glob("*.tmp")) == []
 
 
 # --------------------------------------------------------------------- #
@@ -222,8 +264,50 @@ def test_sweep_cell_timeout(failure_modes_experiment):
     report = run_sweep(cells, jobs=2, timeout_s=0.5, retries=0)
     outcome = report.outcomes[0]
     assert outcome.status == "timeout"
-    assert "0s budget" in outcome.error
+    # sub-second budgets render with their precision, not as "0s"
+    assert "0.5s budget" in outcome.error
     assert outcome.wall_s < 5.0
+
+
+def test_guarded_execute_survives_late_alarm(failure_modes_experiment,
+                                             monkeypatch):
+    """SIGALRM firing between the cell finishing and the timer disarm
+    must not escape _guarded_execute's never-raises contract.
+
+    The alarm is injected deterministically: the first disarm call
+    (``setitimer(..., 0.0)``) raises the pending signal exactly in the
+    window the race occupies.  Pre-fix, ``_CellTimeout`` propagates out
+    of the ``finally`` and kills the worker; post-fix the computed
+    outcome survives and the handler is restored.
+    """
+    import os
+    import signal as signal_mod
+
+    from repro.runner import scheduler as scheduler_mod
+
+    cell = Cell("failure-modes", "fine", "linux-4kb")
+    before = signal_mod.getsignal(signal_mod.SIGALRM)
+    real_setitimer = signal_mod.setitimer
+    fired = {"done": False}
+
+    def racy_setitimer(which, seconds, *rest):
+        if seconds == 0.0 and not fired["done"]:
+            fired["done"] = True
+            # queue a SIGALRM while the cell's handler is still live;
+            # the Python-level handler raises _CellTimeout at the next
+            # bytecode boundary — inside the disarm path.
+            os.kill(os.getpid(), signal_mod.SIGALRM)
+        return real_setitimer(which, seconds, *rest)
+
+    monkeypatch.setattr(scheduler_mod.signal, "setitimer", racy_setitimer)
+    outcome = scheduler_mod._guarded_execute(cell, 60.0)  # must not raise
+    status, result = outcome[0], outcome[1]
+    assert status == "ok"
+    assert result == {"case": "fine", "policy": "linux-4kb"}
+    assert fired["done"]  # the race window was actually exercised
+    # timer fully disarmed and the previous handler restored
+    assert real_setitimer(signal_mod.ITIMER_REAL, 0.0) == (0.0, 0.0)
+    assert signal_mod.getsignal(signal_mod.SIGALRM) is before
 
 
 def test_sweep_cache_and_force(tmp_path, failure_modes_experiment):
@@ -248,6 +332,51 @@ def test_sweep_updates_manifest(tmp_path, failure_modes_experiment):
     loaded = Manifest.load(tmp_path / "manifest.json")
     assert loaded.summary() == {"ok": 1, "failed": 1}
     assert loaded.pending_cells() == [cells[1]]
+
+
+@pytest.fixture
+def staggered_experiment():
+    def run(case, policy, scale):
+        import time
+
+        time.sleep({"slow": 0.8, "mid": 0.4, "fast": 0.0}[case])
+        return {"case": case, "policy": policy}
+
+    register("staggered", "completion-order test grid",
+             cases=("slow", "mid", "fast"), policies=("linux-4kb",), run=run)
+    yield
+    unregister("staggered")
+
+
+def test_pooled_outcomes_follow_cell_order(staggered_experiment):
+    """Pooled execution completes out of submission order (slow first ⇒
+    fast finishes first), but every downstream surface — progress
+    callbacks, SweepReport.outcomes, the CSV/JSONL exports — must see
+    cell order, byte-identical between jobs=1 and jobs=4."""
+    from repro.metrics.export import cells_to_csv, cells_to_jsonl
+
+    cells = [Cell("staggered", c, "linux-4kb")
+             for c in ("slow", "mid", "fast")]
+    settled: list[Cell] = []
+    pooled = run_sweep(cells, jobs=4, retries=0,
+                       progress=lambda o: settled.append(o.cell))
+    serial = run_sweep(cells, jobs=1, retries=0)
+    assert settled == cells
+    assert [o.cell for o in pooled.outcomes] == cells
+    assert [o.cell for o in serial.outcomes] == cells
+
+    def normalized_records(report):
+        records = []
+        for outcome in report.outcomes:
+            record = outcome.as_record()
+            record["wall_s"] = 0.0  # the only legitimately varying field
+            records.append(record)
+        return records
+
+    assert (cells_to_csv(normalized_records(serial))
+            == cells_to_csv(normalized_records(pooled)))
+    assert (cells_to_jsonl(normalized_records(serial))
+            == cells_to_jsonl(normalized_records(pooled)))
 
 
 def test_as_record_shape(failure_modes_experiment):
