@@ -9,6 +9,8 @@ Examples::
     python -m repro trace run redis-fig1 --policy hawkeye-g --summary
     python -m repro trace view trace.jsonl --kind fault --summary
     python -m repro top xsbench --interval 30
+    python -m repro heat xsbench --watch 1 --epochs 12
+    python -m repro heat --cache-dir .sweep-cache --process gups
     python -m repro pagemap xsbench --region 16384
     python -m repro why redis-fig1 --point promote --limit 10
     python -m repro audit xsbench --json
@@ -21,7 +23,10 @@ Examples::
 ``bench`` shells out to the pytest benchmark that regenerates a paper
 table or figure; ``trace`` records or replays the kernel tracepoint
 stream (JSONL, per-subsystem attribution, latency histograms); ``top``
-watches a run through periodic /proc-style snapshots; ``pagemap`` /
+watches a run through periodic /proc-style snapshots; ``heat`` runs
+with the DAMON-style spatial monitor attached and draws access /
+utilization / bloat heatmaps, adaptive monitoring regions and WSS
+percentiles — live, or aggregated from a sweep cache; ``pagemap`` /
 ``why`` / ``audit`` run a workload with the decision-provenance audit
 attached and answer, respectively, *where is this memory and where did
 it come from*, *why did the policy (not) act on this region*, and *how
@@ -154,6 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="JSONL output path (default trace.jsonl)")
     trace_run_p.add_argument("--capacity", type=int, default=None,
                              help="trace ring-buffer capacity in events")
+    trace_run_p.add_argument("--heat", action="store_true",
+                             help="also attach the spatial heat monitor so "
+                                  "heat.* WSS counter samples land in the "
+                                  "trace (Perfetto counter tracks after "
+                                  "'trace export --chrome')")
     trace_filters(trace_run_p)
 
     trace_view_p = trace_sub.add_parser(
@@ -248,6 +258,39 @@ def build_parser() -> argparse.ArgumentParser:
     audit_p.add_argument("--json", action="store_true",
                          help="emit the funnel and rejection breakdown "
                               "as JSON")
+
+    heat_p = sub.add_parser(
+        "heat",
+        help="DAMON-style spatial access heatmap: adaptive monitoring "
+             "regions, per-region bloat and WSS percentiles — live run, "
+             "or aggregated from a sweep cache when no workload is given")
+    heat_p.add_argument("workload", nargs="?", default=None,
+                        choices=sorted(WORKLOADS))
+    common(heat_p)
+    heat_p.add_argument("--process", default=None,
+                        help="only this process name")
+    heat_p.add_argument("--region", type=int, default=None, metavar="HVPN",
+                        help="show the monitoring region covering this "
+                             "huge-page number (plus its bin's time series) "
+                             "instead of the full heatmap")
+    heat_p.add_argument("--epochs", type=int, default=None, metavar="N",
+                        help="keep only the last N sample rows")
+    heat_p.add_argument("--matrix", default="heat",
+                        choices=["heat", "util", "huge", "bloat"],
+                        help="which spatial matrix to draw (default heat)")
+    heat_p.add_argument("--bins", type=int, default=None,
+                        help="spatial bins per process (default 64)")
+    heat_p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                        help="repaint the heatmap in place during the run, "
+                             "at most once per wall-clock SECONDS")
+    heat_p.add_argument("--json", action="store_true",
+                        help="emit the full monitor snapshot as JSON")
+    heat_p.add_argument("--cache-dir", default=None,
+                        help="sweep cache to aggregate captured heat "
+                             "snapshots from (without a workload)")
+    heat_p.add_argument("--svg-dir", default=None, metavar="DIR",
+                        help="also write standalone SVG heatmaps (one per "
+                             "process × matrix) into DIR")
 
     sweep_p = sub.add_parser(
         "sweep", help="run experiment grids through the cached sweep runner")
@@ -648,12 +691,16 @@ def _print_trace_reports(events, args, exact_attribution=None,
         hists = exact_histograms if exact_histograms is not None \
             else _event_histograms(events)
         if hists:
-            print("latency percentiles (log2-bucket interpolation, within 2x):")
+            rows = []
             for kind in sorted(hists, key=lambda k: k.value):
                 p = hists[kind].percentiles()
-                print(f"  {kind.value:<18} n={hists[kind].count:<8} "
-                      f"p50={p['p50']:>10.1f}us  p95={p['p95']:>10.1f}us  "
-                      f"p99={p['p99']:>10.1f}us")
+                rows.append((kind.value, hists[kind].count,
+                             round(p["p50"], 1), round(p["p95"], 1),
+                             round(p["p99"], 1)))
+            print(format_table(
+                ["kind", "n", "p50_us", "p95_us", "p99_us"], rows,
+                title="latency percentiles "
+                      "(log2-bucket interpolation, within 2x):"))
     if args.hist:
         by_kind = _event_histograms(events)
         for kind in sorted(by_kind, key=lambda k: k.value):
@@ -670,6 +717,10 @@ def _cmd_trace_run(args) -> int:
     def setup(kernel):
         capacity = args.capacity if args.capacity else trace.DEFAULT_CAPACITY
         tracer_box.append(trace.attach(kernel, capacity))
+        if args.heat:
+            from repro import heat
+
+            heat.attach(kernel)
 
     result = _execute(args.workload, args.policy, args, setup=setup)
     tracer = tracer_box[0]
@@ -810,6 +861,8 @@ def cmd_top(args) -> int:
     """
     import time
 
+    from repro.metrics.tables import ColumnStream, InPlacePainter
+
     columns = list(TOP_COLUMNS)
     nodes = getattr(args, "nodes", 1)
     if nodes > 1:
@@ -818,20 +871,12 @@ def cmd_top(args) -> int:
         for n in range(nodes):
             columns += [f"n{n}_free", f"n{n}_alloc"]
         columns.append("numamig/s")
-    widths = [max(8, len(c)) for c in columns]
-    print("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    stream = ColumnStream(columns)
+    print(stream.header())
     state = {"last_t": 0.0, "last_vmstat": None, "last_numastat": None,
-             "last_wall": 0.0, "drawn": False, "painted": 0,
-             "mid_repaint": False}
+             "last_wall": 0.0}
+    painter = InPlacePainter()
     watch = getattr(args, "watch", None)
-
-    def _physical_lines(text: str) -> int:
-        """Terminal rows one logical row occupies (wide multi-node rows
-        wrap; the repaint must rewind every wrapped row, not just one)."""
-        import shutil
-
-        width = shutil.get_terminal_size().columns or 80
-        return max(1, -(-len(text) // width))
 
     def snapshot(kernel):
         t_s = kernel.now_us / SEC
@@ -872,24 +917,14 @@ def cmd_top(args) -> int:
                                  + 512 * prev_ns["numa_huge_migrated"])
                 row.append(f"{(migrated - prev_migrated) / dt:.0f}")
             state["last_numastat"] = ns
-        line = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        line = stream.row(row)
         if watch is None:
             print(line)
         else:
             wall = time.monotonic()
-            if not state["drawn"] or wall - state["last_wall"] >= watch:
-                state["mid_repaint"] = True
-                if state["drawn"]:
-                    # repaint in place: rewind every terminal row the
-                    # previous paint occupied (a wide multi-node row
-                    # wraps into several), clearing each.
-                    sys.stdout.write("\x1b[1A\r\x1b[2K" * state["painted"])
-                print(line)
-                sys.stdout.flush()
-                state["painted"] = _physical_lines(line)
-                state["mid_repaint"] = False
+            if not painter.drawn or wall - state["last_wall"] >= watch:
+                painter.paint(line)
                 state["last_wall"] = wall
-                state["drawn"] = True
         state["last_t"] = t_s
         state["last_vmstat"] = vm
 
@@ -909,9 +944,8 @@ def cmd_top(args) -> int:
         # Ctrl-C can land between the clear sequence and the rewrite,
         # leaving the cursor on a blanked row; make sure the terminal
         # is handed back on a fresh line either way.
-        if watch is not None and state["mid_repaint"]:
-            sys.stdout.write("\n")
-            sys.stdout.flush()
+        if watch is not None:
+            painter.finish()
     print(f"{args.workload}/{args.policy}: {result['outcome']}, "
           f"{result['time_s']:.1f} simulated s, {result['faults']} faults, "
           f"{result['promotions']} promotions")
@@ -1133,6 +1167,181 @@ def _cmd_audit_cache(args) -> int:
     return 0
 
 
+def _print_heat_proc(proc_snap: dict, args) -> None:
+    """One process's heat view: heatmap + regions + WSS, or one region."""
+    from repro import heat
+
+    if args.region is not None:
+        lo, hi = proc_snap.get("span", (0, 0))
+        region = next((r for r in proc_snap.get("regions") or []
+                       if r["start"] <= args.region < r["end"]), None)
+        if region is None:
+            print(f"hvpn {args.region} is outside "
+                  f"{proc_snap.get('process')}'s monitored span [{lo},{hi})")
+            return
+        print(format_table(
+            ["span_hvpn", "width", "sample", "ema", "density", "age"],
+            [[f"[{region['start']},{region['end']})",
+              region["end"] - region["start"], region["sample"],
+              region["ema"], region["density"], region["age"]]],
+            title=f"monitoring region covering hvpn {args.region} — "
+                  f"{proc_snap.get('process')}"))
+        nb = proc_snap.get("bins") or 1
+        if hi > lo:
+            col = min(nb - 1, (args.region - lo) * nb // (hi - lo))
+            rows = [[t, row[col]] for t, row in
+                    zip(proc_snap.get("t_s") or [],
+                        proc_snap.get(args.matrix) or [])
+                    if col < len(row)]
+            if args.epochs is not None:
+                rows = rows[-args.epochs:]
+            print(format_table(["t_s", args.matrix], rows,
+                               title=f"bin {col} ({args.matrix}) over time"))
+        return
+    print(heat.format_heatmap(proc_snap, epochs=args.epochs,
+                              matrix=args.matrix))
+    print()
+    print(heat.format_regions(proc_snap))
+    print()
+    print(heat.format_wss(proc_snap))
+
+
+def cmd_heat(args) -> int:
+    """`repro heat`: spatial access heatmap, live or from a sweep cache."""
+    import json
+
+    from repro import heat
+    from repro.metrics.tables import InPlacePainter
+
+    if args.workload is None:
+        return _cmd_heat_cache(args)
+    monitor_box: list = []
+    painter = InPlacePainter()
+    state = {"last_wall": 0.0, "last_samples": 0}
+
+    def repaint(kernel):
+        import time
+
+        monitor = monitor_box[0]
+        # only redraw when a new access-bit sample was folded, throttled
+        # to one repaint per --watch wall-clock seconds.
+        if monitor.samples == state["last_samples"]:
+            return
+        wall = time.monotonic()
+        if painter.drawn and wall - state["last_wall"] < args.watch:
+            return
+        state["last_samples"] = monitor.samples
+        state["last_wall"] = wall
+        blocks = []
+        for pid in sorted(monitor.procs):
+            snap = monitor.procs[pid].snapshot()
+            if args.process and snap["process"] != args.process:
+                continue
+            blocks.append(heat.format_heatmap(
+                snap, epochs=args.epochs or 12, matrix=args.matrix))
+        if blocks:
+            painter.paint("\n\n".join(blocks))
+
+    def setup(kernel):
+        config = {}
+        if args.bins:
+            config["nbins"] = args.bins
+        monitor_box.append(heat.attach(kernel, **config))
+        if args.watch is not None:
+            kernel.epoch_hooks.append(repaint)
+
+    try:
+        result = _execute(args.workload, args.policy, args, setup=setup)
+    finally:
+        if args.watch is not None:
+            painter.finish()
+    snapshot = monitor_box[0].snapshot()
+    procs = snapshot["processes"]
+    if args.process:
+        procs = [p for p in procs if p.get("process") == args.process]
+        if not procs:
+            print(f"no monitored process named {args.process!r}",
+                  file=sys.stderr)
+            return 2
+    if args.svg_dir:
+        from repro.report.html import write_heat_svgs
+
+        written = write_heat_svgs(
+            {"processes": procs}, args.svg_dir,
+            label=f"{args.workload}-{args.policy}")
+        print(f"{len(written)} SVG heatmap(s) written to {args.svg_dir}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(
+            {"workload": args.workload, "policy": args.policy,
+             "outcome": result["outcome"], "samples": snapshot["samples"],
+             "processes": procs}, indent=2))
+        return 0 if result["outcome"] == "completed" else 1
+    for i, proc_snap in enumerate(procs):
+        if i:
+            print()
+        _print_heat_proc(proc_snap, args)
+    print(f"\n{args.workload}/{args.policy}: {result['outcome']}, "
+          f"{snapshot['samples']} access-bit samples folded")
+    return 0 if result["outcome"] == "completed" else 1
+
+
+def _cmd_heat_cache(args) -> int:
+    """Aggregate captured heat snapshots across a sweep cache."""
+    import json
+
+    from repro.report.data import latest_envelopes
+
+    cache, _ = _sweep_paths(args)
+    cells: dict[str, dict] = {}
+    for cell_id, env in sorted(latest_envelopes(cache).items()):
+        for artifact in env.get("telemetry") or []:
+            snap = artifact.get("heat") or {}
+            if snap.get("processes"):
+                cells[cell_id] = snap
+    if args.json:
+        print(json.dumps({"cells": cells}, indent=2, sort_keys=True))
+        return 0
+    if not cells:
+        print(f"no captured heat snapshots in {cache.root} "
+              f"(cells cached before the heat layer)")
+        return 0
+    if args.svg_dir:
+        from repro.report.html import write_heat_svgs
+
+        written = [path for cell_id, snap in cells.items()
+                   for path in write_heat_svgs(snap, args.svg_dir,
+                                               label=cell_id)]
+        print(f"{len(written)} SVG heatmap(s) written to {args.svg_dir}",
+              file=sys.stderr)
+    rows = []
+    for cell_id, snap in cells.items():
+        for proc in snap.get("processes") or ():
+            if args.process and proc.get("process") != args.process:
+                continue
+            wss = proc.get("wss") or {}
+            rows.append([cell_id, proc.get("process"),
+                         proc.get("samples", 0),
+                         len(proc.get("regions") or ()),
+                         proc.get("hot_regions", 0),
+                         wss.get("p50", ""), wss.get("p95", ""),
+                         wss.get("p99", "")])
+    print(format_table(
+        ["cell", "process", "samples", "regions", "hot",
+         "wss_p50", "wss_p95", "wss_p99"],
+        rows, title=f"heat: {len(cells)} cells in {cache.root}"))
+    if args.process:
+        # with a process filter the cache view also renders the full
+        # per-cell heatmaps, same layout as a live run.
+        for cell_id, snap in cells.items():
+            for proc in snap.get("processes") or ():
+                if proc.get("process") != args.process:
+                    continue
+                print(f"\n[{cell_id}]")
+                _print_heat_proc(proc, args)
+    return 0
+
+
 def _sweep_paths(args):
     """Resolve (cache, manifest path) from --cache-dir/$REPRO_SWEEP_CACHE."""
     from pathlib import Path
@@ -1255,7 +1464,13 @@ def _cmd_sweep_run(args) -> int:
 
 
 def _print_failed_assertions(report) -> int:
-    """Scenario assertion failures to stderr; returns how many failed."""
+    """Scenario assertion failures to stderr; returns how many failed.
+
+    Each line names the measured value and the threshold it broke
+    (see :func:`repro.scenario.executor.format_assertion_failure`).
+    """
+    from repro.scenario.executor import format_assertion_failure
+
     failed = 0
     for outcome in report.outcomes:
         result = outcome.result if outcome.good else None
@@ -1264,11 +1479,8 @@ def _print_failed_assertions(report) -> int:
         for record in result.get("assertions", ()):
             if not record.get("passed"):
                 failed += 1
-                detail = ", ".join(
-                    f"{k}={v}" for k, v in sorted(record.items())
-                    if k not in ("kind", "passed"))
                 print(f"  assertion failed [{outcome.cell.cell_id}] "
-                      f"{record['kind']}: {detail}", file=sys.stderr)
+                      f"{format_assertion_failure(record)}", file=sys.stderr)
     return failed
 
 
@@ -1473,6 +1685,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_why(args)
     if args.command == "audit":
         return cmd_audit(args)
+    if args.command == "heat":
+        return cmd_heat(args)
     if args.command == "sweep":
         return cmd_sweep(args)
     if args.command == "scenario":

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro import audit as audit_mod
+from repro import heat as heat_mod
 from repro import trace
 from repro.errors import InvalidAddressError, OutOfMemoryError
 from repro.metrics import telemetry as telemetry_mod
@@ -158,6 +159,10 @@ class Kernel:
         #: :func:`repro.audit.attach` (same contract: recording sites
         #: test the module-level ``audit.enabled`` flag first).
         self.audit: Optional["audit_mod.AuditLog"] = None
+        #: DAMON-style spatial heat monitor; attach with
+        #: :func:`repro.heat.attach` (same contract: the epoch loop
+        #: tests the module-level ``heat.enabled`` flag first).
+        self.heat: Optional["heat_mod.HeatMonitor"] = None
         self.now_us = 0.0
         self.processes: list[Process] = []
         self.runs: list["WorkloadRun"] = []
@@ -798,6 +803,9 @@ class Kernel:
         self.now_us += self.config.epoch_us
         if self.stats.epochs % self.config.sample_period == 0:
             self._sample_access_bits()
+            if heat_mod.enabled and (hm := self.heat) is not None \
+                    and hm.enabled:
+                hm.on_sample(self)
         if telemetry_mod.enabled and (ts := self.telemetry) is not None and ts.enabled:
             ts.on_epoch(self)
         for hook in self.epoch_hooks:

@@ -105,8 +105,12 @@ def trace_to_chrome(events: Iterable[TraceEvent]) -> str:
     within an epoch's fault burst, so that is the span's start) and
     ``dur`` the charged span, so slices nest when their time ranges
     do — and zero-span decision events become thread-scoped instants
-    (``ph: "i"``).  Timestamps are simulated microseconds, which is
-    exactly the unit the format wants.
+    (``ph: "i"``).  ``heat.*`` events are different: their detail is a
+    ``key=value;…`` sample, emitted per process by the spatial monitor,
+    and each becomes a counter record (``ph: "C"``) so Perfetto draws
+    WSS/hot-region time series as per-process counter tracks.
+    Timestamps are simulated microseconds, which is exactly the unit
+    the format wants.
     """
     events = list(events)
     pids = {name: i + 1 for i, name in
@@ -121,6 +125,19 @@ def trace_to_chrome(events: Iterable[TraceEvent]) -> str:
             records.append({"ph": "M", "name": "thread_name", "pid": pid,
                             "tid": tid, "args": {"name": sub}})
     for e in events:
+        if e.kind.subsystem == "heat":
+            counters: dict[str, float] = {}
+            for pair in e.detail.split(";"):
+                key, _, value = pair.partition("=")
+                if key and value:
+                    try:
+                        counters[key] = float(value)
+                    except ValueError:
+                        pass
+            records.append({"ph": "C", "name": e.kind.value,
+                            "cat": "heat", "pid": pids[e.process],
+                            "ts": round(e.t_us, 3), "args": counters})
+            continue
         record = {
             "name": e.kind.value,
             "cat": e.kind.subsystem,

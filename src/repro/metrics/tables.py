@@ -1,12 +1,23 @@
-"""Plain-text table formatting for benchmark output.
+"""Plain-text table and live-terminal rendering shared across the CLI.
 
-The benchmark harness prints every reproduced table and figure as an
-aligned text table so its rows can be compared side by side with the
-paper's.
+:func:`format_table` renders every reproduced paper table/figure as an
+aligned monospace block (left-aligned, like the paper's).  The streaming
+helpers back the live CLI views — ``repro top``, ``repro heat --watch``,
+the trace summaries — which previously each hand-rolled their own
+width/align/repaint code:
+
+* :class:`ColumnStream` — fixed-width right-aligned columns printed one
+  row at a time (headers first, rows as they arrive).
+* :func:`physical_lines` — terminal rows a logical line occupies once
+  wrapped (an in-place repaint must rewind every wrapped row).
+* :class:`InPlacePainter` — repaint a block of lines in place with ANSI
+  cursor-up, Ctrl-C safe (``finish`` hands the terminal back on a fresh
+  line if interrupted mid-repaint).
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, Sequence
 
 
@@ -41,3 +52,72 @@ def format_table(
     for row in str_rows:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+class ColumnStream:
+    """Fixed-width right-aligned columns for streaming row output.
+
+    Unlike :func:`format_table`, widths are fixed up front (from the
+    header names and ``min_width``), so rows can be printed as they are
+    produced — the shape ``repro top`` and ``repro heat --watch`` need.
+    """
+
+    def __init__(self, columns: Sequence[str], min_width: int = 8) -> None:
+        self.columns = list(columns)
+        self.widths = [max(min_width, len(c)) for c in self.columns]
+
+    def header(self) -> str:
+        """The aligned header row."""
+        return "  ".join(
+            c.rjust(w) for c, w in zip(self.columns, self.widths))
+
+    def row(self, cells: Sequence[object]) -> str:
+        """One aligned data row (cells are rendered with ``str``)."""
+        return "  ".join(
+            str(c).rjust(w) for c, w in zip(cells, self.widths))
+
+
+def physical_lines(text: str, width: int | None = None) -> int:
+    """Terminal rows one logical line occupies (wide lines wrap)."""
+    if width is None:
+        import shutil
+
+        width = shutil.get_terminal_size().columns or 80
+    return max(1, -(-len(text) // width))
+
+
+class InPlacePainter:
+    """Repaint a block of terminal lines in place (ANSI cursor-up).
+
+    Tracks how many *physical* rows the previous paint occupied so the
+    next one rewinds exactly that far; Ctrl-C can land between the clear
+    sequence and the rewrite, so callers should invoke :meth:`finish`
+    in a ``finally`` to hand the terminal back on a fresh line.
+    """
+
+    def __init__(self, out=None) -> None:
+        self.out = out if out is not None else sys.stdout
+        self.painted = 0
+        self.mid_repaint = False
+
+    @property
+    def drawn(self) -> bool:
+        """Whether anything has been painted yet."""
+        return self.painted > 0
+
+    def paint(self, block: str) -> None:
+        """Replace the previous block with ``block`` (any line count)."""
+        self.mid_repaint = True
+        if self.painted:
+            self.out.write("\x1b[1A\r\x1b[2K" * self.painted)
+        print(block, file=self.out)
+        self.out.flush()
+        self.painted = sum(
+            physical_lines(line) for line in (block.split("\n") or [""]))
+        self.mid_repaint = False
+
+    def finish(self) -> None:
+        """Restore the cursor to a fresh line after a mid-repaint abort."""
+        if self.mid_repaint:
+            self.out.write("\n")
+            self.out.flush()

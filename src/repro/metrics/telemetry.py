@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro import audit, trace
+from repro import audit, heat, trace
 from repro.metrics.registry import MetricsRegistry
 from repro.units import SEC
 
@@ -84,6 +84,11 @@ class RunTelemetry:
     #: when an audit log was attached; empty — and omitted from the
     #: artifact — otherwise, so audit-free artifacts keep their bytes.
     decisions: dict = field(default_factory=dict)
+    #: spatial heat-monitor snapshot (regions, matrices, WSS percentile
+    #: series) when a heat monitor was attached; empty — and omitted
+    #: from the artifact — otherwise, so heat-free artifacts keep their
+    #: exact bytes (same rule as ``decisions``).
+    heat: dict = field(default_factory=dict)
     self_profile: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -98,6 +103,8 @@ class RunTelemetry:
         }
         if self.decisions:
             out["decisions"] = self.decisions
+        if self.heat:
+            out["heat"] = self.heat
         return out
 
     @classmethod
@@ -110,6 +117,7 @@ class RunTelemetry:
             attribution=data.get("attribution", {}),
             histograms=data.get("histograms", {}),
             decisions=data.get("decisions", {}),
+            heat=data.get("heat", {}),
             self_profile=data.get("self_profile", {}),
         )
 
@@ -135,6 +143,14 @@ class RunTelemetry:
         for point, reasons in (self.decisions.get("rejections") or {}).items():
             for reason, count in reasons.items():
                 out[f"decision.{point}.reject.{reason}"] = count
+        for proc in self.heat.get("processes") or ():
+            name = proc.get("process")
+            out[f"heat.{name}.regions"] = len(proc.get("regions") or ())
+            out[f"heat.{name}.hot_regions"] = proc.get("hot_regions", 0)
+            wss = proc.get("wss") or {}
+            for p in ("p50", "p95", "p99"):
+                if p in wss:
+                    out[f"heat.{name}.wss_{p}"] = wss[p]
         return out
 
 
@@ -206,6 +222,22 @@ class TelemetrySampler:
                 "decision_rejections_total",
                 "policy rejections per decision point and reason",
                 labelnames=("point", "reason"))
+        # Heat-monitor families: declared only when a monitor is attached
+        # at sampler construction, so heat-free scrapes keep their bytes.
+        self._heat_regions = self._heat_wss = self._heat_hot = None
+        if kernel.heat is not None:
+            self._heat_regions = r.gauge(
+                "heat_monitoring_regions",
+                "adaptive monitoring regions per process",
+                labelnames=("process",))
+            self._heat_hot = r.gauge(
+                "heat_hot_regions",
+                "monitoring regions above the hot-density threshold",
+                labelnames=("process",))
+            self._heat_wss = r.gauge(
+                "heat_wss_pages",
+                "monitoring-region working-set estimate in base pages",
+                labelnames=("process",))
         # wall-clock self-profile state
         self._wall_origin = time.perf_counter()
         self._last_wall = self._wall_origin
@@ -263,6 +295,15 @@ class TelemetrySampler:
             for subsystem, (events, span_us) in tracer.attribution().items():
                 self._trace_events.labels(subsystem=subsystem).sync(events)
                 self._trace_span.labels(subsystem=subsystem).sync(span_us)
+        monitor = kernel.heat
+        if self._heat_regions is not None and monitor is not None:
+            for state in monitor.procs.values():
+                self._heat_regions.labels(process=state.name).set(
+                    len(state.regions))
+                self._heat_hot.labels(process=state.name).set(
+                    state.hot_regions())
+                self._heat_wss.labels(process=state.name).set(
+                    round(state.last_estimate, 2))
         audit_log = kernel.audit
         if self._decision_funnel is not None and audit_log is not None:
             for point, counts in audit_log.funnel.items():
@@ -335,6 +376,12 @@ class TelemetrySampler:
                 "recorded": audit_log.recorded,
                 "dropped": audit_log.dropped,
             }
+        monitor = kernel.heat
+        heat_snap: dict = {}
+        if monitor is not None:
+            snap = monitor.snapshot()
+            if snap["samples"] or snap["processes"]:
+                heat_snap = snap
         return RunTelemetry(
             version=TELEMETRY_VERSION,
             meta=full_meta,
@@ -342,6 +389,7 @@ class TelemetrySampler:
             attribution=attribution,
             histograms=histograms,
             decisions=decisions,
+            heat=heat_snap,
             self_profile=self.self_profile(),
         )
 
@@ -416,13 +464,15 @@ _capture_every: int = CAPTURE_EVERY_EPOCHS
 def autoattach(kernel: "Kernel") -> None:
     """Called by ``Kernel.__init__`` while a capture is armed.
 
-    Attaches the tracer and the decision audit *before* the sampler so
-    the sampler sees both and declares their metric families.
+    Attaches the tracer, the decision audit and the heat monitor
+    *before* the sampler so the sampler sees them all and declares
+    their metric families.
     """
     if _capture_samplers is None:
         return
     trace.attach(kernel, CAPTURE_TRACE_CAPACITY, warn_on_drop=False)
     audit.attach(kernel)
+    heat.attach(kernel)
     _capture_samplers.append(attach(kernel, every_epochs=_capture_every))
 
 
@@ -436,5 +486,6 @@ def end_capture(meta: dict | None = None) -> list[RunTelemetry]:
         artifacts.append(sampler.telemetry(meta))
         trace.detach(sampler.kernel)
         audit.detach(sampler.kernel)
+        heat.detach(sampler.kernel)
         detach(sampler.kernel)
     return artifacts

@@ -24,7 +24,7 @@ import pstats
 import statistics
 import time
 
-from repro import audit, trace
+from repro import audit, heat, trace
 from repro.experiments import POLICIES, Scale, make_kernel, reset_sim_state
 from repro.metrics import telemetry
 from repro.units import GB, MB, PAGES_PER_HUGE, SEC
@@ -73,9 +73,10 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
     """One timed run; returns wall seconds.
 
     ``trace_mode`` selects the observability state under test: ``"off"``
-    (no tracer, no sampler, no audit — the production default),
-    ``"disabled"`` (tracer, telemetry sampler *and* decision audit
-    attached, module flags armed, but every instance gate off so each
+    (no tracer, sampler, audit or heat monitor — the production default),
+    ``"disabled"`` (tracer, telemetry sampler, decision audit *and*
+    spatial heat monitor attached, module flags armed, but every
+    instance gate off so each
     guard is evaluated and rejected — the state the <5 % overhead gate
     measures) or ``"on"`` (full emission, sampling and auditing).
     """
@@ -92,6 +93,8 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
         sampler.enabled = trace_mode == "on"
         log = audit.attach(kernel)
         log.enabled = trace_mode == "on"
+        monitor = heat.attach(kernel)
+        monitor.enabled = trace_mode == "on"
     bench = _TouchBench(npages)
     run = kernel.spawn(bench)
     kernel.mmap(run.proc, bench.mmap_bytes(), "heap")
@@ -104,6 +107,7 @@ def _run_once(policy: str, npages: int, batched: bool, trace_mode: str = "off") 
             trace.detach(kernel)
             telemetry.detach(kernel)
             audit.detach(kernel)
+            heat.detach(kernel)
     if not run.finished:
         raise RuntimeError("touch benchmark did not finish within the epoch cap")
     return elapsed
@@ -294,7 +298,8 @@ def _run_epoch_once(policy: str, regions: int, epochs: int, vectorized: bool,
     """One timed serve-phase measurement; returns wall seconds.
 
     ``trace_mode`` mirrors :func:`_run_once`: ``"off"`` (bare),
-    ``"disabled"`` (tracer + sampler attached but gated off) or ``"on"``.
+    ``"disabled"`` (tracer, sampler, audit and heat monitor attached
+    but gated off) or ``"on"``.
     """
     kernel, _run = _epoch_setup(policy, regions, epochs, vectorized)
     if trace_mode != "off":
@@ -304,6 +309,8 @@ def _run_epoch_once(policy: str, regions: int, epochs: int, vectorized: bool,
         sampler.enabled = trace_mode == "on"
         log = audit.attach(kernel)
         log.enabled = trace_mode == "on"
+        monitor = heat.attach(kernel)
+        monitor.enabled = trace_mode == "on"
     try:
         t0 = time.perf_counter()
         kernel.run_epochs(epochs)
@@ -313,6 +320,7 @@ def _run_epoch_once(policy: str, regions: int, epochs: int, vectorized: bool,
             trace.detach(kernel)
             telemetry.detach(kernel)
             audit.detach(kernel)
+            heat.detach(kernel)
 
 
 def _scan_speedup(policy: str, regions: int, iters: int = 30) -> float:

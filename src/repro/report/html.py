@@ -9,7 +9,8 @@ Layout: one section per experiment found in the cache.  ``fig1`` gets
 the paper's RSS-trajectory line chart (one series per policy) plus its
 scalar table; every experiment gets a metrics table; telemetry-carrying
 cells contribute a per-subsystem attribution table, latency-percentile
-table and simulator self-profile.
+table, spatial heatmap panels (``repro.heat`` snapshots rendered as
+inline SVG grids on a light+dark ramp) and simulator self-profile.
 
 Chart styling follows the repo's data-viz conventions: categorical
 series colors are assigned in fixed slot order (never cycled), declared
@@ -36,6 +37,15 @@ SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
 SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181",
                "#008300", "#9085e9", "#e66767")
 
+#: sequential heat ramp (9 levels; level 0 = exactly zero, matching the
+#: terminal ramp in :mod:`repro.heat`).  The light ramp runs page-white
+#: to deep red, the dark ramp charcoal to warm yellow so hot cells stay
+#: the high-contrast end in both schemes.
+HEAT_LIGHT = ("#f3f2ee", "#fdeccb", "#fdd9a0", "#fdbd6d", "#fb9a42",
+              "#f26b26", "#d9431c", "#a81b0e", "#6e0503")
+HEAT_DARK = ("#1f1f1e", "#392312", "#5c2e10", "#83400d", "#a85508",
+             "#cc6e06", "#e98d1a", "#f8b13e", "#ffd86b")
+
 _CSS = """
 :root {
   color-scheme: light;
@@ -48,6 +58,7 @@ _CSS = """
   --baseline: #c3c2b7;
   --border: rgba(11,11,11,0.10);
 __SERIES_LIGHT__
+__HEAT_LIGHT__
 }
 @media (prefers-color-scheme: dark) {
   :root {
@@ -61,6 +72,7 @@ __SERIES_LIGHT__
     --baseline: #383835;
     --border: rgba(255,255,255,0.10);
 __SERIES_DARK__
+__HEAT_DARK__
   }
 }
 * { box-sizing: border-box; }
@@ -91,6 +103,10 @@ tbody tr + tr td { border-top: 1px solid var(--gridline); }
 .legend i { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
 svg text { fill: var(--text-muted); font: 11px system-ui, sans-serif; }
 svg .axis-title { fill: var(--text-secondary); }
+svg.heatmap { display: block; margin: 8px 0; }
+svg.heatmap rect { shape-rendering: crispEdges; }
+__HEAT_CELLS__
+h3 { font-size: 13px; margin: 16px 0 2px; color: var(--text-secondary); }
 .tooltip {
   position: fixed; pointer-events: none; display: none; z-index: 10;
   background: var(--surface-1); border: 1px solid var(--border);
@@ -305,6 +321,153 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[object]],
             f"<tbody>{''.join(body_rows)}</tbody></table>")
 
 
+# ---------------------------------------------------------------------- #
+# spatial heatmaps (repro.heat snapshots)                                  #
+# ---------------------------------------------------------------------- #
+
+#: per-matrix fixed color scales (data-max otherwise), mirroring the
+#: terminal renderer so SVG and CLI agree on what "hot" looks like.
+_MATRIX_VMAX = {"heat": 512.0, "util": 1.0, "huge": 1.0}
+
+_HEAT_CELL_CSS = "\n".join(
+    f".h{i} {{ fill: var(--heat-{i}); }}" for i in range(len(HEAT_LIGHT)))
+
+
+def _heat_vars(colors: Sequence[str], indent: str = "  ") -> str:
+    return "\n".join(f"{indent}--heat-{i}: {c};" for i, c in enumerate(colors))
+
+
+def _heat_level(value: float, vmax: float) -> int:
+    """Ramp level 0–8 for one cell — same mapping as ``repro.heat.ramp_char``."""
+    if value <= 0 or vmax <= 0:
+        return 0
+    return min(1 + int(7 * min(value, vmax) / vmax), 8)
+
+
+def _svg_style() -> str:
+    """Embedded stylesheet for standalone ``.svg`` artifacts (light+dark)."""
+    return (
+        "svg {\n" + _heat_vars(HEAT_LIGHT)
+        + "\n  --text-muted: #898781;\n  --text-secondary: #52514e;\n}\n"
+        "@media (prefers-color-scheme: dark) {\n  svg {\n"
+        + _heat_vars(HEAT_DARK, "    ")
+        + "\n    --text-muted: #898781;\n    --text-secondary: #c3c2b7;\n"
+        "  }\n}\n"
+        "text { fill: var(--text-muted); font: 11px system-ui, sans-serif; }\n"
+        ".axis-title { fill: var(--text-secondary); }\n"
+        "rect { shape-rendering: crispEdges; }\n" + _HEAT_CELL_CSS)
+
+
+def heatmap_svg(proc_snap: dict, matrix: str = "heat", cell: int = 10,
+                max_rows: int | None = None, standalone: bool = False) -> str:
+    """One process-heat snapshot as an SVG grid (rows = samples, cols = bins).
+
+    Cells reference ``--heat-N`` custom properties so the inline form
+    follows the report's light/dark scheme; ``standalone`` embeds its own
+    ``<style>`` (with a ``prefers-color-scheme`` block) and XML namespace
+    so the markup works as a free-standing ``.svg`` CI artifact.
+    """
+    rows = proc_snap.get(matrix) or []
+    t_s = proc_snap.get("t_s") or []
+    if max_rows is not None:
+        rows, t_s = rows[-max_rows:], t_s[-max_rows:]
+    nb = proc_snap.get("bins") or (len(rows[0]) if rows else 1)
+    vmax = _MATRIX_VMAX.get(
+        matrix, max((max(r) for r in rows if r), default=1.0) or 1.0)
+    ml, mt, mb = 56, 4, 20
+    width = ml + nb * cell + 4
+    grid_h = max(len(rows), 1) * cell
+    height = mt + grid_h + mb
+    lo, hi = proc_snap.get("span", (0, 0))
+    xmlns = ' xmlns="http://www.w3.org/2000/svg"' if standalone else ""
+    parts = [
+        f'<svg class="heatmap" viewBox="0 0 {width} {height}"{xmlns} '
+        f'role="img" aria-label="{_esc(matrix)} heatmap for '
+        f'{_esc(proc_snap.get("process"))}">']
+    if standalone:
+        parts.append(f"<style>{_svg_style()}</style>")
+    parts.append(f'<rect class="h0" x="{ml}" y="{mt}" '
+                 f'width="{nb * cell}" height="{grid_h}"/>')
+    label_every = max(1, len(rows) // 6)
+    for i, row in enumerate(rows):
+        y = mt + i * cell
+        if i % label_every == 0 and i < len(t_s):
+            parts.append(f'<text x="{ml - 6}" y="{y + cell - 2}" '
+                         f'text-anchor="end">{t_s[i]:g}s</text>')
+        # runs of equal-level cells collapse into one rect (the level-0
+        # background already covers cold cells, so those are skipped).
+        j = 0
+        while j < len(row):
+            lvl = _heat_level(row[j], vmax)
+            k = j + 1
+            while k < len(row) and _heat_level(row[k], vmax) == lvl:
+                k += 1
+            if lvl:
+                parts.append(
+                    f'<rect class="h{lvl}" x="{ml + j * cell}" y="{y}" '
+                    f'width="{(k - j) * cell}" height="{cell}"/>')
+            j = k
+    parts.append(
+        f'<text class="axis-title" x="{ml + nb * cell / 2:g}" '
+        f'y="{height - 6}" text-anchor="middle">'
+        f'{_esc(matrix)} — span hvpn [{lo},{hi}), {nb} bins</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_heat_svgs(snapshot: dict, out_dir: str, label: str = "",
+                    matrices: Sequence[str] = ("heat", "util")) -> list[str]:
+    """Write one standalone SVG per process×matrix; returns written paths.
+
+    ``snapshot`` is a :class:`repro.heat.HeatMonitor` snapshot (live or
+    from a sweep-cache telemetry artifact); ``label`` (e.g. a cell id)
+    prefixes the file names.
+    """
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for proc in snapshot.get("processes") or ():
+        for matrix in matrices:
+            if not proc.get(matrix):
+                continue
+            stem = "-".join(filter(None, [
+                label, str(proc.get("process")),
+                f"pid{proc.get('pid')}", matrix]))
+            safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                           for c in stem)
+            path = os.path.join(out_dir, f"{safe}.svg")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(heatmap_svg(proc, matrix=matrix, standalone=True))
+            written.append(path)
+    return written
+
+
+#: inline panels are capped so a wide sweep doesn't balloon the report;
+#: the full set is reachable via ``repro heat --cache-dir … --svg-dir``.
+_MAX_HEAT_PANELS = 12
+
+
+def _heat_rows(envelopes: dict[str, dict]):
+    """Summary rows + (cell_id, proc-snapshot) panels from captured heat."""
+    rows, panels = [], []
+    for cell_id in sorted(envelopes):
+        env = envelopes[cell_id]
+        for artifact in env.get("telemetry") or []:
+            snap = artifact.get("heat") or {}
+            for proc in snap.get("processes") or ():
+                wss = proc.get("wss") or {}
+                rows.append([cell_id, proc.get("process"),
+                             proc.get("samples", 0),
+                             len(proc.get("regions") or ()),
+                             proc.get("hot_regions", 0),
+                             wss.get("p50", ""), wss.get("p95", ""),
+                             wss.get("p99", "")])
+                if proc.get("heat"):
+                    panels.append((cell_id, proc))
+    return rows, panels
+
+
 def _group_by_experiment(envelopes: dict[str, dict]) -> dict[str, list[dict]]:
     groups: dict[str, list[dict]] = {}
     for cell_id in sorted(envelopes):
@@ -448,6 +611,23 @@ def render_report(cache: ResultCache, title: str = "HawkEye repro — run report
             + _table(["cell", "point", "reason", "rejections"],
                      reject_rows, numeric_from=3)
             + "</section>")
+    heat_rows, heat_panels = _heat_rows(envelopes)
+    if heat_rows:
+        body = _table(["cell", "process", "samples", "regions", "hot",
+                       "wss p50 (pages)", "p95", "p99"],
+                      heat_rows, numeric_from=2)
+        shown = heat_panels[:_MAX_HEAT_PANELS]
+        for cell_id, proc in shown:
+            body += (f"<h3>{_esc(cell_id)} — {_esc(proc.get('process'))} "
+                     f"pid={_esc(proc.get('pid'))}</h3>"
+                     + heatmap_svg(proc))
+        if len(heat_panels) > len(shown):
+            body += (f'<p class="meta">{len(heat_panels) - len(shown)} more '
+                     "panel(s) elided — export the full set with "
+                     "<code>repro heat --cache-dir … --svg-dir …</code>.</p>")
+        sections.append(
+            '<section class="card"><h2>Spatial access heat '
+            "(adaptive monitoring regions)</h2>" + body + "</section>")
     if profiles:
         sections.append(
             '<section class="card"><h2>Simulator self-profile '
@@ -466,7 +646,10 @@ def render_report(cache: ResultCache, title: str = "HawkEye repro — run report
     series_dark = "\n".join(
         f"    --series-{i + 1}: {c};" for i, c in enumerate(SERIES_DARK))
     css = _CSS.replace("__SERIES_LIGHT__", series_light) \
-              .replace("__SERIES_DARK__", series_dark)
+              .replace("__SERIES_DARK__", series_dark) \
+              .replace("__HEAT_LIGHT__", _heat_vars(HEAT_LIGHT)) \
+              .replace("__HEAT_DARK__", _heat_vars(HEAT_DARK, "    ")) \
+              .replace("__HEAT_CELLS__", _HEAT_CELL_CSS)
     cells = len(envelopes)
     return f"""<!DOCTYPE html>
 <html lang="en">

@@ -50,7 +50,7 @@ class MetricDelta:
     baseline: float | None
     current: float | None
     rel: float | None          # signed relative delta; None when undefined
-    status: str                # pass | warn | fail
+    status: str                # pass | warn | fail | new
 
     def describe(self) -> str:
         """One-line human rendering."""
@@ -73,7 +73,7 @@ class CellComparison:
 
     def flagged(self) -> list[MetricDelta]:
         """The deltas that are not clean passes, worst first."""
-        rank = {"fail": 0, "warn": 1, "pass": 2}
+        rank = {"fail": 0, "warn": 1, "new": 2, "pass": 3}
         return sorted((d for d in self.deltas if d.status != "pass"),
                       key=lambda d: rank[d.status])
 
@@ -112,11 +112,21 @@ def _classify(rel: float | None, warn: float, fail: float) -> str:
 
 def compare_metrics(baseline: dict[str, float], current: dict[str, float],
                     warn: float, fail: float) -> list[MetricDelta]:
-    """Classify every metric present in either dict."""
+    """Classify every metric present in either dict.
+
+    A metric the baseline has never seen is ``new`` — visible but not
+    gating, so purely additive telemetry (a freshly landed subsystem's
+    families) doesn't fail the gate before it can be blessed.  A metric
+    that *vanished* stays a hard fail: losing a tracked signal is a
+    regression.
+    """
     deltas: list[MetricDelta] = []
     for name in sorted(set(baseline) | set(current)):
         base, cur = baseline.get(name), current.get(name)
-        if base is None or cur is None:
+        if base is None:
+            deltas.append(MetricDelta(name, base, cur, None, "new"))
+            continue
+        if cur is None:
             deltas.append(MetricDelta(name, base, cur, None, "fail"))
             continue
         if base == 0.0:
@@ -222,7 +232,13 @@ def format_report(report: RegressionReport, verbose: bool = False) -> str:
         elif cell.status == "new":
             detail = "  (not in baseline; bless to track)"
         elif flagged:
-            detail = f"  ({len(flagged)} metric(s) outside bands)"
+            gating = sum(1 for d in flagged if d.status in ("fail", "warn"))
+            bits = []
+            if gating:
+                bits.append(f"{gating} metric(s) outside bands")
+            if gating < len(flagged):
+                bits.append(f"{len(flagged) - gating} new metric(s)")
+            detail = "  (" + ", ".join(bits) + ")"
         lines.append(f"  {marker}  {cell.cell_id}{detail}")
         show = flagged if not verbose else cell.deltas
         for delta in show:

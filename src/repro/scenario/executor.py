@@ -271,6 +271,34 @@ def _evaluate_assertion(spec, tl: _Timeline, reports: dict,
     return record
 
 
+def format_assertion_failure(record: dict) -> str:
+    """One failed assertion as a measured-value-vs-threshold sentence.
+
+    The record is one entry of a scenario result's ``assertions`` list
+    (see :func:`_evaluate_assertion`); the rendering names the measured
+    value and the limit it broke, so a failing ``repro scenario run``
+    says *what* was out of bounds, not just that something was.
+    """
+    kind = record.get("kind")
+    if kind == "bloat-ceiling":
+        scope = (f" [{record['process']}]"
+                 if record.get("process") is not None else " [total]")
+        return (f"bloat-ceiling{scope}: measured {record['actual_mb']} MB "
+                f"> limit {record['limit_mb']} MB")
+    if kind == "fault-p99":
+        if record.get("actual_us") is None:
+            return (f"fault-p99: no fault samples recorded "
+                    f"(limit {record['limit_us']} us)")
+        return (f"fault-p99: measured {record['actual_us']} us "
+                f"> limit {record['limit_us']} us")
+    if kind == "fairness-spread":
+        return (f"fairness-spread[{record.get('metric')}]: measured ratio "
+                f"{record['actual_ratio']} > limit {record['limit_ratio']}")
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(record.items())
+                       if k not in ("kind", "passed"))
+    return f"{kind}: {detail}"
+
+
 # --------------------------------------------------------------------- #
 # the grid-point runner + registration                                   #
 # --------------------------------------------------------------------- #

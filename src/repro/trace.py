@@ -88,6 +88,10 @@ class TraceKind(enum.Enum):
     DECISION_BLOAT = "decision.bloat"
     DECISION_KNUMAD = "decision.knumad"
     DECISION_FAULT = "decision.fault_size"
+    # zero-span per-process WSS/region counters, emitted by repro.heat
+    # when both a heat monitor and a tracer are attached; detail =
+    # `key=value;…` pairs rendered as Perfetto counter tracks.
+    HEAT_WSS = "heat.wss"
 
     @property
     def subsystem(self) -> str:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import audit, trace
+from repro import audit, heat, trace
 from repro.core.hawkeye import HawkEyePolicy
 from repro.metrics import telemetry
 from repro.kernel.kernel import Kernel, KernelConfig
@@ -14,11 +14,12 @@ from repro.units import MB
 
 @pytest.fixture(autouse=True)
 def _reset_trace():
-    """Disarm the global trace/telemetry/audit flags after every test."""
+    """Disarm the global trace/telemetry/audit/heat flags after every test."""
     yield
     trace.reset()
     telemetry.reset()
     audit.reset()
+    heat.reset()
 
 
 def small_config(mem_mb: int = 64, **overrides) -> KernelConfig:

@@ -1,0 +1,102 @@
+"""Percentile interpolation tests for the log2-bucket latency histogram.
+
+:class:`repro.trace.LatencyHistogram` backs every ``hist.*`` baseline
+metric and the heat monitor's WSS percentile series, so its quantile
+estimator is pinned here on known distributions: linear interpolation
+inside a bucket, clamping to the exact min/max, and the degenerate
+single-bucket / single-sample / empty cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import LatencyHistogram
+
+
+def fill(values):
+    hist = LatencyHistogram()
+    for v in values:
+        hist.add(v)
+    return hist
+
+
+def test_known_distribution_interpolation():
+    # 50 × 1.5µs (bucket [1,2)), 45 × 3.0µs ([2,4)), 5 × 10.0µs ([8,16))
+    hist = fill([1.5] * 50 + [3.0] * 45 + [10.0] * 5)
+    assert hist.count == 100
+    # p50: target 50 lands exactly at the end of the first bucket.
+    assert hist.quantile(0.50) == pytest.approx(2.0)
+    # p95: target 95 exhausts the second bucket -> its upper edge.
+    assert hist.quantile(0.95) == pytest.approx(4.0)
+    # p99: 4/5 through [8,16) = 14.4, clamped to the exact max of 10.
+    assert hist.quantile(0.99) == pytest.approx(10.0)
+    assert hist.percentiles() == {
+        "p50": pytest.approx(2.0), "p95": pytest.approx(4.0),
+        "p99": pytest.approx(10.0)}
+
+
+def test_single_bucket_spread_clamps_to_observed_range():
+    # both samples land in [2,4); interpolation would give 3.98 at p99
+    # but the estimate clamps to the exact observed max.
+    hist = fill([2.0, 3.9])
+    assert hist.quantile(0.50) == pytest.approx(3.0)
+    assert hist.quantile(0.99) == pytest.approx(3.9)
+    assert hist.quantile(0.0) == pytest.approx(2.0)
+    assert hist.quantile(1.0) == pytest.approx(3.9)
+
+
+def test_identical_samples_are_exact_at_every_quantile():
+    hist = fill([3.0] * 100)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert hist.quantile(q) == pytest.approx(3.0)
+
+
+def test_single_sample_is_exact():
+    hist = fill([7.0])
+    for q in (0.0, 0.5, 1.0):
+        assert hist.quantile(q) == pytest.approx(7.0)
+
+
+def test_zero_samples_use_the_zero_bucket():
+    hist = fill([0.0] * 9 + [100.0])
+    assert hist.buckets[LatencyHistogram.ZERO_BUCKET] == 9
+    assert hist.quantile(0.50) == 0.0
+    # p99 interpolates in [64,128) but clamps to the exact max.
+    assert hist.quantile(0.99) == pytest.approx(100.0)
+
+
+def test_empty_histogram():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.quantile(0.5) == 0.0
+    assert hist.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    assert hist.mean_us == 0.0
+
+
+def test_quantile_rejects_out_of_range():
+    hist = fill([1.0])
+    with pytest.raises(ValueError):
+        hist.quantile(-0.01)
+    with pytest.raises(ValueError):
+        hist.quantile(1.01)
+
+
+def test_round_trip_preserves_percentiles():
+    hist = fill([1.5] * 50 + [3.0] * 45 + [10.0] * 5)
+    clone = LatencyHistogram.from_dict(hist.to_dict())
+    assert clone.percentiles() == hist.percentiles()
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(0.001, 1e6), min_size=1, max_size=50),
+       qs=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=6))
+def test_quantile_bounded_and_monotone(values, qs):
+    """Estimates stay inside [min, max] and are monotone in q."""
+    hist = fill(values)
+    estimates = [hist.quantile(q) for q in sorted(qs)]
+    for est in estimates:
+        assert min(values) <= est <= max(values)
+    assert estimates == sorted(estimates)

@@ -1,0 +1,137 @@
+"""Property tests: heat monitoring regions partition spans and conserve counts.
+
+The acceptance bar for the spatial monitor is structural: after every
+sample — through arbitrary merge/split churn and VMA-layout changes —
+the monitoring regions must still partition the monitored spans
+*exactly*, and the split/merge step must conserve the sampled access
+counts and EMA mass it started from.  These tests drive
+:class:`repro.heat.ProcessHeat`'s region machinery directly with
+synthetic access-bit samples (the same ``(sorted hvpns, prefix-sum)``
+shape ``on_sample`` derives from the region table), so hypothesis can
+explore span layouts and weight distributions no catalog workload hits.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import heat
+
+ALPHA = 0.3
+
+
+@st.composite
+def span_layout(draw):
+    """Disjoint, sorted, non-empty hvpn intervals (a VMA extent set)."""
+    cuts = sorted(draw(st.lists(st.integers(0, 400), min_size=2,
+                                max_size=8, unique=True)))
+    spans = tuple((cuts[i], cuts[i + 1])
+                  for i in range(0, len(cuts) - 1, 2)
+                  if cuts[i] < cuts[i + 1])
+    if not spans:
+        spans = ((cuts[0], cuts[-1]),)
+    return spans
+
+
+@st.composite
+def sample_round(draw):
+    """One access-bit sample: a span layout plus per-hvpn weights."""
+    spans = draw(span_layout())
+    hvpns = [h for s, e in spans for h in range(s, e)]
+    chosen = draw(st.lists(st.sampled_from(hvpns), unique=True,
+                           max_size=min(len(hvpns), 40)))
+    weights = {h: draw(st.integers(0, 512)) for h in chosen}
+    return spans, weights
+
+
+def fold(state: heat.ProcessHeat, spans, weights):
+    """Feed one synthetic sample through the real region machinery.
+
+    Mirrors the region section of :meth:`ProcessHeat.on_sample`: sync
+    the layout, recompute per-region sums from the sample's prefix-sum
+    array, then merge and split.  Returns the (sample, ema) totals as
+    they stood *before* merge/split, so conservation can be checked
+    against what the reshaping step was handed.
+    """
+    if spans != state.spans:
+        state._sync_spans(spans)
+    items = sorted(weights.items())
+    sh = np.array([h for h, _ in items], dtype=np.int64)
+    w = np.array([v for _, v in items], dtype=np.int64)
+    cum = np.concatenate(([0], np.cumsum(w)))
+    starts = np.fromiter((r.start for r in state.regions),
+                         dtype=np.int64, count=len(state.regions))
+    ends = np.fromiter((r.end for r in state.regions),
+                       dtype=np.int64, count=len(state.regions))
+    sums = cum[np.searchsorted(sh, ends)] - cum[np.searchsorted(sh, starts)]
+    for r, s in zip(state.regions, sums.tolist()):
+        r.sample = int(s)
+        r.ema = ALPHA * s + (1.0 - ALPHA) * r.ema
+        r.age += 1
+    before_sample = sum(r.sample for r in state.regions)
+    before_ema = sum(r.ema for r in state.regions)
+    state._merge_similar()
+    state._enforce_budget()
+    state._split_for_budget(sh, cum)
+    return before_sample, before_ema
+
+
+def check_partition(state: heat.ProcessHeat, spans):
+    """Regions sorted, non-empty, abutting; coalesced they equal spans."""
+    rebuilt, cursor = [], None
+    for r in state.regions:
+        assert r.start < r.end
+        if cursor is not None and r.start == cursor:
+            rebuilt[-1] = (rebuilt[-1][0], r.end)
+        else:
+            rebuilt.append((r.start, r.end))
+        cursor = r.end
+    assert tuple(rebuilt) == tuple(spans)
+
+
+def make_state(max_regions: int) -> heat.ProcessHeat:
+    proc = SimpleNamespace(pid=1, name="p")
+    return heat.ProcessHeat(proc, nbins=16, history=8, min_regions=4,
+                            max_regions=max_regions,
+                            merge_threshold=heat.MERGE_THRESHOLD)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rounds=st.lists(sample_round(), min_size=1, max_size=5),
+       max_regions=st.integers(4, 48))
+def test_partition_and_conservation(rounds, max_regions):
+    state = make_state(max_regions)
+    for spans, weights in rounds:
+        before_sample, before_ema = fold(state, spans, weights)
+        # split/merge conserve the access counts they were handed,
+        # exactly — and those equal the sample's total weight.
+        assert sum(r.sample for r in state.regions) == before_sample
+        assert before_sample == sum(weights.values())
+        # EMA mass is conserved up to float addition order.
+        after_ema = sum(r.ema for r in state.regions)
+        assert abs(after_ema - before_ema) <= 1e-6 * max(1.0, before_ema)
+        # the regions still partition the spans exactly, within budget
+        # (floor: one region per span).
+        check_partition(state, spans)
+        assert len(state.regions) <= max(max_regions, len(spans))
+
+
+@settings(max_examples=40, deadline=None)
+@given(before=span_layout(), after=span_layout())
+def test_sync_spans_repartitions_exactly(before, after):
+    """Any layout change (grow/shrink/move) leaves an exact partition."""
+    state = make_state(32)
+    state._sync_spans(before)
+    check_partition(state, before)
+    # give regions some state so clipping paths are exercised
+    for i, r in enumerate(state.regions):
+        r.sample = 7 * (i + 1)
+        r.ema = 3.5 * (i + 1)
+    state._sync_spans(after)
+    check_partition(state, after)
+    # clipped regions never exceed what they held before
+    assert all(r.sample >= 0 and r.ema >= 0.0 for r in state.regions)

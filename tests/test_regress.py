@@ -60,11 +60,39 @@ def test_compare_metrics_appear_vanish_and_zero():
         {"new": 7.0, "zero_ok": 0.0, "zero_bad": 3.0},
         warn=0.01, fail=0.05))
     assert deltas["gone"].status == "fail"        # metric vanished
-    assert deltas["new"].status == "fail"         # metric appeared
+    assert deltas["new"].status == "new"          # appeared: visible, no gate
     assert deltas["zero_ok"].status == "pass"     # 0 -> 0
     assert deltas["zero_bad"].status == "fail"    # 0 -> nonzero: undefined
     assert "vanished" in deltas["gone"].describe()
     assert "new metric" in deltas["new"].describe()
+
+
+def test_new_metrics_do_not_gate_but_vanished_do():
+    """Additive telemetry (a freshly landed subsystem) must not fail the
+    gate before it can be blessed; losing a tracked metric still must."""
+    from repro.report.regress import CellComparison, RegressionReport
+
+    added = compare_metrics({"t": 100.0}, {"t": 100.0, "heat.w.regions": 4.0},
+                            warn=0.01, fail=0.05)
+    worst = "pass"
+    for delta in added:
+        if delta.status == "fail":
+            worst = "fail"
+        elif delta.status == "warn" and worst == "pass":
+            worst = "warn"
+    cell = CellComparison("smoke/touch:x@128", worst, added)
+    assert cell.status == "pass"
+    assert [d.name for d in cell.flagged()] == ["heat.w.regions"]
+    report = RegressionReport([cell], 0.01, 0.05)
+    assert report.ok
+    text = format_report(report)
+    assert "1 new metric(s)" in text
+    assert "outside bands" not in text
+
+    vanished = _by_name(compare_metrics(
+        {"t": 100.0, "heat.w.regions": 4.0}, {"t": 100.0},
+        warn=0.01, fail=0.05))
+    assert vanished["heat.w.regions"].status == "fail"
 
 
 # --------------------------------------------------------------------- #

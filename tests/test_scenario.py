@@ -360,9 +360,40 @@ def test_cli_scenario_run_fails_failed_assertions(tmp_path, capsys):
         err = capsys.readouterr().err
         assert rc == 1
         assert "assertion failed" in err
-        assert "fault-p99" in err
+        # the failure names the measured value and the broken limit
+        assert "fault-p99: measured" in err
+        assert "> limit 0.0 us" in err
     finally:
         unregister("scn-fastfail")
+
+
+def test_format_assertion_failure_measured_vs_threshold():
+    from repro.scenario.executor import format_assertion_failure
+
+    assert format_assertion_failure(
+        {"kind": "bloat-ceiling", "process": None, "actual_mb": 12.5,
+         "limit_mb": 8, "passed": False}) \
+        == "bloat-ceiling [total]: measured 12.5 MB > limit 8 MB"
+    assert format_assertion_failure(
+        {"kind": "bloat-ceiling", "process": "redis", "actual_mb": 3.25,
+         "limit_mb": 2, "passed": False}) \
+        == "bloat-ceiling [redis]: measured 3.25 MB > limit 2 MB"
+    assert format_assertion_failure(
+        {"kind": "fault-p99", "actual_us": 41.3, "limit_us": 10,
+         "passed": False}) \
+        == "fault-p99: measured 41.3 us > limit 10 us"
+    assert format_assertion_failure(
+        {"kind": "fault-p99", "actual_us": None, "limit_us": 10,
+         "passed": False}) \
+        == "fault-p99: no fault samples recorded (limit 10 us)"
+    assert format_assertion_failure(
+        {"kind": "fairness-spread", "metric": "rss_mb",
+         "actual_ratio": 2.61, "limit_ratio": 1.5, "passed": False}) \
+        == "fairness-spread[rss_mb]: measured ratio 2.61 > limit 1.5"
+    # unknown kinds degrade to a key=value dump, never crash
+    assert format_assertion_failure(
+        {"kind": "future-check", "actual": 3, "passed": False}) \
+        == "future-check: actual=3"
 
 
 def test_cli_scenario_run_invalid_file(tmp_path, capsys):
