@@ -216,6 +216,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="refresh the snapshot row in place, at most once "
                             "per wall-clock SECONDS, instead of appending "
                             "one row per interval")
+    top_p.add_argument("--tenants", action="store_true",
+                       help="append fleet aggregate columns (tenant count, "
+                            "spawn/exit rates, OOM kills); pair with "
+                            "--fleet-rate to drive churn")
+    top_p.add_argument("--fleet-rate", type=float, default=None,
+                       metavar="PER_S",
+                       help="attach a fleet manager spawning tenants at this "
+                            "Poisson rate alongside the workload "
+                            "(implies --tenants)")
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="drive multi-tenant churn (Poisson arrivals, OOM killer) and "
+             "report per-class QoS")
+    fleet_p.add_argument("--policy", default="hawkeye-g",
+                         choices=sorted(POLICIES))
+    fleet_p.add_argument("--mem-gb", type=float, default=64.0,
+                         help="machine memory in GB at full scale "
+                              "(default 64)")
+    fleet_p.add_argument("--scale", type=int, default=128,
+                         help="linear memory scale divisor (default 128)")
+    fleet_p.add_argument("--rate", type=float, default=2.0,
+                         help="tenant arrival rate per simulated second "
+                              "(default 2.0)")
+    fleet_p.add_argument("--tenants", type=int, default=200,
+                         help="tenant lifetimes to complete (default 200)")
+    fleet_p.add_argument("--seed", type=int, default=0,
+                         help="arrival/footprint RNG seed (default 0)")
+    fleet_p.add_argument("--max-epochs", type=int, default=4000,
+                         help="epoch budget (default 4000)")
+    fleet_p.add_argument("--batch-cap", type=int, default=8,
+                         help="huge-page group cap for the batch-* tier "
+                              "(0 disables; default 8)")
+    fleet_p.add_argument("--json", action="store_true",
+                         help="emit the full QoS result as JSON")
 
     pagemap_p = sub.add_parser(
         "pagemap",
@@ -871,10 +906,16 @@ def cmd_top(args) -> int:
         for n in range(nodes):
             columns += [f"n{n}_free", f"n{n}_alloc"]
         columns.append("numamig/s")
+    fleet_rate = getattr(args, "fleet_rate", None)
+    tenants = getattr(args, "tenants", False) or fleet_rate is not None
+    if tenants:
+        # fleet aggregate columns; without --tenants/--fleet-rate the
+        # default output stays byte-identical (no extra columns).
+        columns += ["tenants", "spawn/s", "exit/s", "oomk"]
     stream = ColumnStream(columns)
     print(stream.header())
     state = {"last_t": 0.0, "last_vmstat": None, "last_numastat": None,
-             "last_wall": 0.0}
+             "last_fleet": None, "last_wall": 0.0}
     painter = InPlacePainter()
     watch = getattr(args, "watch", None)
 
@@ -917,6 +958,23 @@ def cmd_top(args) -> int:
                                  + 512 * prev_ns["numa_huge_migrated"])
                 row.append(f"{(migrated - prev_migrated) / dt:.0f}")
             state["last_numastat"] = ns
+        if tenants:
+            fleet = kernel.fleet
+            spawned = fleet.spawned if fleet is not None else 0
+            exited = fleet.exited if fleet is not None else 0
+            prev_fl = state["last_fleet"]
+            if prev_fl is None or dt <= 0:
+                spawn_rate = exit_rate = 0.0
+            else:
+                spawn_rate = (spawned - prev_fl[0]) / dt
+                exit_rate = (exited - prev_fl[1]) / dt
+            row += [
+                f"{fleet.active if fleet is not None else 0}",
+                f"{spawn_rate:.1f}",
+                f"{exit_rate:.1f}",
+                f"{fleet.oom_kills if fleet is not None else 0}",
+            ]
+            state["last_fleet"] = (spawned, exited)
         line = stream.row(row)
         if watch is None:
             print(line)
@@ -936,6 +994,11 @@ def cmd_top(args) -> int:
             # drops are surfaced in the trdrop/s column; the one-shot
             # RuntimeWarning would just interleave with the table.
             trace.attach(kernel, capacity, warn_on_drop=False)
+        if fleet_rate is not None:
+            from repro.fleet import FleetManager, FleetSpec
+
+            FleetManager(kernel, FleetSpec(rate_per_s=fleet_rate),
+                         scale_factor=1.0 / args.scale)
         kernel.epoch_hooks.append(snapshot)
 
     try:
@@ -950,6 +1013,51 @@ def cmd_top(args) -> int:
           f"{result['time_s']:.1f} simulated s, {result['faults']} faults, "
           f"{result['promotions']} promotions")
     return 0 if result["outcome"] == "completed" else 1
+
+
+def cmd_fleet(args) -> int:
+    """`repro fleet`: multi-tenant churn with per-class QoS reporting.
+
+    Drives Poisson arrivals through the kernel until ``--tenants``
+    lifetimes complete, with the fleet OOM killer shaving pressure
+    peaks, then prints the fairness/tail summary (or the full JSON
+    result with ``--json``).
+    """
+    import json
+
+    from repro.fleet import FleetManager, FleetSpec
+    from repro.fleet.experiment import drive_fleet, fleet_result
+
+    scale = Scale(1.0 / args.scale)
+    kernel = make_kernel(args.mem_gb * GB, args.policy, scale,
+                         boot_zeroed=True)
+    group_limits = {"batch-*": args.batch_cap} if args.batch_cap else {}
+    spec = FleetSpec(rate_per_s=args.rate, seed=args.seed,
+                     group_limits=group_limits)
+    manager = FleetManager(kernel, spec, scale_factor=scale.factor)
+    epochs = drive_fleet(kernel, manager, args.tenants, args.max_epochs)
+    result = fleet_result(kernel, manager, epochs)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["exited"] >= args.tenants else 1
+    print(f"fleet/{args.policy}: {result['exited']} lifetimes in "
+          f"{result['t_end_s']:.0f} simulated s ({epochs} epochs), "
+          f"peak {result['peak_active']} active")
+    print(f"  oom kills {result['oom_kills']} "
+          f"(protected {result['protected_kills']}), "
+          f"deferred {result['deferred']}, "
+          f"limit refusals {result['limit_refusals']}")
+    print(f"  fault latency p50 {result['fault_p50_us']:.1f}us "
+          f"p99 {result['fault_p99_us']:.1f}us, "
+          f"fairness spread {result['fairness_spread']:.3f}")
+    for name, cls in result["classes"].items():
+        print(f"  {name:<6} tenants {cls['tenants']:<5} "
+              f"oomk {cls['oom_kills']:<4} "
+              f"cov {cls['mean_huge_coverage']:.2f} "
+              f"bloat {cls['mean_bloat_mb']:.1f}MB "
+              f"p50 {cls['fault_p50_us']:.1f}us "
+              f"p99 {cls['fault_p99_us']:.1f}us")
+    return 0 if result["exited"] >= args.tenants else 1
 
 
 def _attach_audit(args):
@@ -1679,6 +1787,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_numa(args)
     if args.command == "top":
         return cmd_top(args)
+    if args.command == "fleet":
+        return cmd_fleet(args)
     if args.command == "pagemap":
         return cmd_pagemap(args)
     if args.command == "why":

@@ -56,6 +56,9 @@ class HawkEyeConfig:
     #: §3.5 extension — per-process huge-page caps (name or "prefix*" ->
     #: max huge pages); None disables limiting.
     huge_page_limits: dict | None = None
+    #: §3.5 extension — cgroup-like group caps ("prefix*" -> max huge
+    #: pages summed across every live matching process).
+    huge_page_group_limits: dict | None = None
     #: §3.5 extension — adapt the bloat-recovery watermarks to allocation
     #: volatility instead of using the static 85/70 thresholds.
     dynamic_watermarks: bool = False
@@ -95,11 +98,12 @@ class HawkEyePolicy(HugePagePolicy):
             scan_pages_per_sec=config.bloat_scan_pages_per_sec,
             zero_threshold=config.bloat_zero_threshold,
         )
-        self.limits = (
-            HugePageLimits(config.huge_page_limits)
-            if config.huge_page_limits is not None
-            else None
-        )
+        self.limits = None
+        if (config.huge_page_limits is not None
+                or config.huge_page_group_limits is not None):
+            self.limits = HugePageLimits(config.huge_page_limits,
+                                         config.huge_page_group_limits)
+            self.limits.bind(kernel)
         self.engine = PromotionEngine(
             kernel,
             self.access_maps,

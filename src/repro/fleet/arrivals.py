@@ -1,0 +1,59 @@
+"""Open-loop tenant arrival processes.
+
+Arrivals are *open-loop*: tenants arrive on their own schedule whether
+or not the machine has room, the way a cluster scheduler keeps handing a
+node work.  The manager may defer admission under pressure, but the
+arrival clock never stops — deferral is measured, not hidden.
+
+Both models speak one protocol: ``next_after(t_us)`` returns the first
+arrival time strictly after scheduling from ``t_us`` (``inf`` when the
+process is exhausted).  All randomness comes from a caller-provided
+seeded ``random.Random`` so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.units import SEC
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_per_s`` (exponential inter-arrival)."""
+
+    def __init__(self, rate_per_s: float, rng: random.Random):
+        if rate_per_s <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+        self._rng = rng
+
+    def next_after(self, t_us: float) -> float:
+        """The next arrival time after ``t_us`` (simulated µs)."""
+        return t_us + self._rng.expovariate(self.rate_per_s) * SEC
+
+
+class TraceArrivals:
+    """Replay a fixed schedule of arrival times (simulated seconds).
+
+    The schedule is consumed in order; times earlier than the query
+    point still fire (they land immediately), so a burst recorded at
+    t=10s arrives as a burst.
+    """
+
+    def __init__(self, times_s: Iterable[float]):
+        self._times_us = sorted(float(t) * SEC for t in times_s)
+        self._next = 0
+
+    def next_after(self, t_us: float) -> float:
+        """Pop the next scheduled arrival; ``inf`` once exhausted."""
+        if self._next >= len(self._times_us):
+            return float("inf")
+        t = self._times_us[self._next]
+        self._next += 1
+        return t
+
+    @property
+    def remaining(self) -> int:
+        """Scheduled arrivals not yet consumed."""
+        return len(self._times_us) - self._next

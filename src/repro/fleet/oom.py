@@ -1,0 +1,75 @@
+"""Badness-scored OOM killing driven by watermark pressure.
+
+Linux's OOM killer fires only when an allocation already failed; a fleet
+node cannot afford that, so this killer is *proactive*: it feeds the
+allocated fraction into a :class:`~repro.mem.watermarks.Watermarks`
+hysteresis pair every epoch and, while pressure is active, sacrifices
+the worst tenant per epoch.  Badness is resident size (the biggest win
+per kill); protected tenants get grace — they are only eligible after
+``grace_epochs`` consecutive pressure epochs with no unprotected victim
+available.
+
+Kill accounting is exact: every victim this policy returns is counted
+here, and the manager attributes the matching tenant exit to ``"oom"``,
+so ``kills == OOM-attributed exits`` is an invariant the tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.mem.watermarks import Watermarks
+from repro.vm.process import Process
+
+
+class OOMKiller:
+    """Pick tenants to kill while memory pressure is active."""
+
+    def __init__(self, watermarks: Watermarks | None = None,
+                 protected_prefixes: Iterable[str] = (),
+                 grace_epochs: int = 5, kills_per_epoch: int = 1):
+        self.watermarks = watermarks if watermarks is not None else Watermarks()
+        self.protected = tuple(protected_prefixes)
+        self.grace_epochs = max(0, grace_epochs)
+        self.kills_per_epoch = max(1, kills_per_epoch)
+        #: total victims selected (== the manager's OOM-attributed exits).
+        self.kills = 0
+        #: the subset of kills that hit a protected tenant (grace expired).
+        self.protected_kills = 0
+        #: consecutive epochs the pressure signal has been active.
+        self.pressure_epochs = 0
+
+    def is_protected(self, name: str) -> bool:
+        """True when ``name`` belongs to a protected tenant class."""
+        return any(name.startswith(prefix) for prefix in self.protected)
+
+    def badness(self, proc: Process) -> int:
+        """Kill score: resident pages (the memory a kill gives back)."""
+        return proc.rss_pages()
+
+    def select_victims(self, procs: Sequence[Process]) -> list[Process]:
+        """The tenants to kill this pressure epoch, worst first.
+
+        Ordering is deterministic: highest badness first, lowest pid on
+        ties.  Protected tenants only become eligible once the grace
+        window has elapsed *and* no unprotected candidate exists.
+        """
+        eligible = [p for p in procs if not self.is_protected(p.name)]
+        if not eligible and self.pressure_epochs > self.grace_epochs:
+            eligible = list(procs)
+        eligible.sort(key=lambda p: (-self.badness(p), p.pid))
+        return eligible[: self.kills_per_epoch]
+
+    def on_epoch(self, allocated_fraction: float,
+                 procs: Sequence[Process]) -> list[Process]:
+        """Feed one pressure sample; returns this epoch's victims."""
+        if not self.watermarks.update(allocated_fraction):
+            self.pressure_epochs = 0
+            return []
+        self.pressure_epochs += 1
+        victims = self.select_victims(procs)
+        for victim in victims:
+            self.kills += 1
+            if self.is_protected(victim.name):
+                self.protected_kills += 1
+        return victims

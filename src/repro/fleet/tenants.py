@@ -1,0 +1,119 @@
+"""Tenant classes: who arrives, how big, how long, how sparse.
+
+A :class:`TenantClass` is a population template — footprint and lifetime
+are sampled per arrival from log-uniform ranges (the heavy-tailed shape
+of real serving fleets: many small short-lived tenants, a few large
+long-lived ones).  ``touch_stride`` > 1 gives a class the sparse access
+pattern that turns huge-at-fault allocation into per-tenant bloat;
+``protected`` marks classes the OOM killer must grant grace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.units import GB, MB, SEC
+from repro.workloads.base import (
+    ContentSpec,
+    MmapOp,
+    Phase,
+    SleepOp,
+    TouchOp,
+    Workload,
+)
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One population of tenants sharing a size/lifetime distribution."""
+
+    name: str
+    #: full-scale footprint range in bytes (log-uniform sample).
+    footprint_bytes: tuple[float, float]
+    #: simulated-lifetime range in seconds (log-uniform sample).
+    lifetime_s: tuple[float, float]
+    #: relative arrival share among the fleet's classes.
+    weight: float = 1.0
+    #: protected tenants get OOM grace (killed only after sustained
+    #: pressure with no unprotected victim available).
+    protected: bool = False
+    #: touch every k-th base page (k > 1 = bloat-prone sparse tenant).
+    touch_stride: int = 1
+
+    def __post_init__(self) -> None:
+        lo, hi = self.footprint_bytes
+        if not 0 < lo <= hi:
+            raise ValueError(f"footprint range must satisfy 0 < lo <= hi, got {lo}/{hi}")
+        lo, hi = self.lifetime_s
+        if not 0 < lo <= hi:
+            raise ValueError(f"lifetime range must satisfy 0 < lo <= hi, got {lo}/{hi}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+    @staticmethod
+    def _log_uniform(rng: random.Random, lo: float, hi: float) -> float:
+        if lo == hi:
+            return lo
+        return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+    def sample_footprint(self, rng: random.Random) -> int:
+        """Draw one tenant's full-scale footprint in bytes."""
+        return int(self._log_uniform(rng, *self.footprint_bytes))
+
+    def sample_lifetime_us(self, rng: random.Random) -> float:
+        """Draw one tenant's simulated lifetime in µs."""
+        return self._log_uniform(rng, *self.lifetime_s) * SEC
+
+
+#: the stock serving mix: many small short-lived frontends, a batch tier
+#: that is sparse (bloat-prone) and group-cappable by name prefix, and a
+#: small protected stateful tier.
+DEFAULT_CLASSES: tuple[TenantClass, ...] = (
+    TenantClass("web", (64 * MB, 512 * MB), (4.0, 30.0), weight=6.0),
+    TenantClass("batch", (256 * MB, 2 * GB), (20.0, 120.0), weight=3.0,
+                touch_stride=4),
+    TenantClass("db", (512 * MB, 1 * GB), (120.0, 400.0), weight=1.0,
+                protected=True),
+)
+
+
+def pick_class(classes: tuple[TenantClass, ...], rng: random.Random) -> TenantClass:
+    """Weighted deterministic draw of the next arrival's class."""
+    total = sum(c.weight for c in classes)
+    roll = rng.random() * total
+    acc = 0.0
+    for cls in classes:
+        acc += cls.weight
+        if roll < acc:
+            return cls
+    return classes[-1]
+
+
+class TenantWorkload(Workload):
+    """One tenant's life: fault in the footprint, serve, exit.
+
+    The same shape as :class:`~repro.workloads.hog.MemoryHog` but with a
+    per-class touch stride, so sparse classes leave untouched tails in
+    their huge regions (the bloat the per-tenant QoS accounting prices).
+    """
+
+    def __init__(self, name: str, footprint_bytes: float, lifetime_us: float,
+                 stride: int = 1, scale: float = 1.0):
+        self.name = name
+        self.footprint_bytes = max(1, int(footprint_bytes * scale))
+        #: lifetime is simulated time and deliberately unscaled.
+        self.lifetime_us = lifetime_us
+        self.stride = max(1, stride)
+
+    def build_phases(self) -> list[Phase]:
+        """mmap + (possibly strided) touch, then hold until the lifetime ends."""
+        ops = [
+            MmapOp("heap", self.footprint_bytes),
+            TouchOp("heap", stride_pages=self.stride,
+                    content=ContentSpec(first_nonzero=0)),
+        ]
+        if self.lifetime_us > 0:
+            ops.append(SleepOp(self.lifetime_us))
+        return [Phase("tenant", ops=ops)]

@@ -163,6 +163,11 @@ class Kernel:
         #: :func:`repro.heat.attach` (same contract: the epoch loop
         #: tests the module-level ``heat.enabled`` flag first).
         self.heat: Optional["heat_mod.HeatMonitor"] = None
+        #: fleet load generator (multi-tenant churn); attached by
+        #: :class:`repro.fleet.manager.FleetManager`.  The manager drives
+        #: itself through ``epoch_hooks``, so this slot is pure metadata —
+        #: a kernel without a fleet pays nothing for it.
+        self.fleet = None
         self.now_us = 0.0
         self.processes: list[Process] = []
         self.runs: list["WorkloadRun"] = []

@@ -69,6 +69,11 @@ class DynamicWatermarks(Watermarks):
             mean = sum(self._history) / len(self._history)
             var = sum((x - mean) ** 2 for x in self._history) / len(self._history)
             margin = min(0.10, self.SENSITIVITY * var ** 0.5)
+            if margin < 1e-9:
+                # float noise from a near-constant window; a sub-nano
+                # margin is volatility zero, and the thresholds must
+                # return *exactly* to the static pair.
+                margin = 0.0
             self.high = max(self._base_low + 0.02, self._base_high - margin)
             self.low = max(0.01, self._base_low - margin)
         return super().update(allocated_fraction)

@@ -89,6 +89,10 @@ class RunTelemetry:
     #: from the artifact — otherwise, so heat-free artifacts keep their
     #: exact bytes (same rule as ``decisions``).
     heat: dict = field(default_factory=dict)
+    #: fleet-manager snapshot (tenant churn counters, OOM accounting,
+    #: per-class QoS) when a fleet was attached; empty — and omitted —
+    #: otherwise (same rule as ``decisions``/``heat``).
+    fleet: dict = field(default_factory=dict)
     self_profile: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -105,6 +109,8 @@ class RunTelemetry:
             out["decisions"] = self.decisions
         if self.heat:
             out["heat"] = self.heat
+        if self.fleet:
+            out["fleet"] = self.fleet
         return out
 
     @classmethod
@@ -118,6 +124,7 @@ class RunTelemetry:
             histograms=data.get("histograms", {}),
             decisions=data.get("decisions", {}),
             heat=data.get("heat", {}),
+            fleet=data.get("fleet", {}),
             self_profile=data.get("self_profile", {}),
         )
 
@@ -151,6 +158,19 @@ class RunTelemetry:
             for p in ("p50", "p95", "p99"):
                 if p in wss:
                     out[f"heat.{name}.wss_{p}"] = wss[p]
+        if self.fleet:
+            for key in ("spawned", "exited", "oom_kills", "protected_kills",
+                        "deferred", "peak_active", "fairness_spread"):
+                if key in self.fleet:
+                    out[f"fleet.{key}"] = self.fleet[key]
+            for name, cls in (self.fleet.get("classes") or {}).items():
+                out[f"fleet.{name}.tenants"] = cls.get("tenants", 0)
+                out[f"fleet.{name}.oom_kills"] = cls.get("oom_kills", 0)
+                out[f"fleet.{name}.promotions"] = cls.get("promotions", 0)
+                hist = cls.get("fault_us") or {}
+                for p in ("p50", "p99"):
+                    if p in hist:
+                        out[f"fleet.{name}.fault_{p}_us"] = hist[p]
         return out
 
 
@@ -238,6 +258,15 @@ class TelemetrySampler:
                 "heat_wss_pages",
                 "monitoring-region working-set estimate in base pages",
                 labelnames=("process",))
+        # Fleet and huge-page-limit families are declared *lazily* in
+        # ``_collect`` (unlike NUMA/audit/heat): a FleetManager attaches
+        # after kernel construction — past this constructor — and a
+        # fleet may install group limits into the policy at that point
+        # too.  Scrape bytes for fleet-free kernels stay identical, the
+        # same guarantee the construction-time families give.
+        self._fleet_counters = self._fleet_gauges = None
+        self._limit_refusals = None
+        self._limit_group_held = self._limit_group_cap = None
         # wall-clock self-profile state
         self._wall_origin = time.perf_counter()
         self._last_wall = self._wall_origin
@@ -314,6 +343,45 @@ class TelemetrySampler:
                 for reason, count in reasons.items():
                     self._decision_reject.labels(
                         point=point, reason=reason).sync(count)
+        fleet = kernel.fleet
+        if fleet is not None:
+            if self._fleet_counters is None:
+                r = self.registry
+                self._fleet_counters = r.counter(
+                    "fleet_tenants_total",
+                    "cumulative fleet tenant lifecycle events",
+                    labelnames=("event",))
+                self._fleet_gauges = r.gauge(
+                    "fleet_tenants", "current fleet tenant population",
+                    labelnames=("state",))
+            for event, value in (("spawned", fleet.spawned),
+                                 ("exited", fleet.exited),
+                                 ("oom_killed", fleet.oom_kills),
+                                 ("deferred", fleet.deferred)):
+                self._fleet_counters.labels(event=event).sync(value)
+            self._fleet_gauges.labels(state="active").set(fleet.active)
+            self._fleet_gauges.labels(state="pending").set(fleet.pending)
+        limits = getattr(kernel.policy, "limits", None)
+        if limits is not None:
+            if self._limit_refusals is None:
+                r = self.registry
+                self._limit_refusals = r.counter(
+                    "limit_refusals_total",
+                    "huge-page promotions refused by §3.5 caps",
+                    labelnames=("kind",))
+                self._limit_group_held = r.gauge(
+                    "limit_group_held",
+                    "huge pages currently held by a limit group",
+                    labelnames=("group",))
+                self._limit_group_cap = r.gauge(
+                    "limit_group_cap", "huge-page cap of a limit group",
+                    labelnames=("group",))
+            self._limit_refusals.labels(kind="total").sync(limits.refusals)
+            self._limit_refusals.labels(kind="group").sync(
+                limits.group_refusals)
+            for group, (held, cap) in limits.group_stats().items():
+                self._limit_group_held.labels(group=group).set(held)
+                self._limit_group_cap.labels(group=group).set(cap)
 
     # ------------------------------------------------------------------ #
     # artifact                                                            #
@@ -382,6 +450,9 @@ class TelemetrySampler:
             snap = monitor.snapshot()
             if snap["samples"] or snap["processes"]:
                 heat_snap = snap
+        fleet_snap: dict = {}
+        if kernel.fleet is not None:
+            fleet_snap = kernel.fleet.snapshot()
         return RunTelemetry(
             version=TELEMETRY_VERSION,
             meta=full_meta,
@@ -390,6 +461,7 @@ class TelemetrySampler:
             histograms=histograms,
             decisions=decisions,
             heat=heat_snap,
+            fleet=fleet_snap,
             self_profile=self.self_profile(),
         )
 

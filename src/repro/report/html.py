@@ -562,6 +562,32 @@ def _decision_rows(envelopes: dict[str, dict]):
     return funnel_rows, reject_rows
 
 
+def _fleet_rows(envelopes: dict[str, dict]):
+    """Aggregate + per-class QoS rows from captured fleet snapshots."""
+    agg_rows = []
+    class_rows = []
+    for cell_id in sorted(envelopes):
+        env = envelopes[cell_id]
+        for artifact in env.get("telemetry") or []:
+            fleet = artifact.get("fleet") or {}
+            if not fleet:
+                continue
+            agg_rows.append([
+                cell_id, fleet.get("spawned", 0), fleet.get("exited", 0),
+                fleet.get("oom_kills", 0), fleet.get("protected_kills", 0),
+                fleet.get("peak_active", 0), fleet.get("deferred", 0),
+                fleet.get("fairness_spread", 0.0)])
+            for name, cls in sorted((fleet.get("classes") or {}).items()):
+                hist = cls.get("fault_us") or {}
+                class_rows.append([
+                    cell_id, name, cls.get("tenants", 0),
+                    cls.get("oom_kills", 0), cls.get("promotions", 0),
+                    cls.get("mean_huge_coverage", 0.0),
+                    cls.get("mean_bloat_mb", 0.0),
+                    hist.get("p50", ""), hist.get("p99", "")])
+    return agg_rows, class_rows
+
+
 def render_report(cache: ResultCache, title: str = "HawkEye repro — run report") -> str:
     """Render the whole dashboard for one sweep cache as an HTML string."""
     envelopes = latest_envelopes(cache)
@@ -574,6 +600,9 @@ def render_report(cache: ResultCache, title: str = "HawkEye repro — run report
         "tab9": "Table 9 — HawkEye-PMU vs HawkEye-G, mixed sensitivity sets",
         "fig5": "Figure 5 — promotion speedup from a fragmented start",
         "smoke": "Smoke grid — seconds-scale touch run",
+        "fleet": "Fleet churn — multi-tenant fairness/tail QoS vs "
+                 "arrival rate",
+        "fleet-smoke": "Fleet churn smoke grid (CI arrival rate)",
     }
     for experiment, envs in groups.items():
         body = (_fig1_section(envs) if experiment == "fig1"
@@ -611,6 +640,21 @@ def render_report(cache: ResultCache, title: str = "HawkEye repro — run report
             + _table(["cell", "point", "reason", "rejections"],
                      reject_rows, numeric_from=3)
             + "</section>")
+    fleet_agg, fleet_classes = _fleet_rows(envelopes)
+    if fleet_agg:
+        body = _table(["cell", "spawned", "exited", "OOM kills",
+                       "protected kills", "peak active", "deferred",
+                       "fairness spread"], fleet_agg, numeric_from=1)
+        if fleet_classes:
+            body += ("<h3>Per tenant class</h3>"
+                     + _table(["cell", "class", "tenants", "OOM kills",
+                               "promotions", "huge coverage", "bloat (MB)",
+                               "fault p50 (µs)", "fault p99 (µs)"],
+                              fleet_classes, numeric_from=2))
+        sections.append(
+            '<section class="card"><h2>Fleet churn '
+            "(tenant lifetimes, OOM accounting, per-class QoS)</h2>"
+            + body + "</section>")
     heat_rows, heat_panels = _heat_rows(envelopes)
     if heat_rows:
         body = _table(["cell", "process", "samples", "regions", "hot",

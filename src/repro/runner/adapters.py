@@ -321,3 +321,7 @@ register(
     "numa", "NUMA placement: local vs interleave vs balanced vs replicated-PT",
     cases=NUMA_CASES, policies=NUMA_POLICIES, run=run_numa,
 )
+
+# The fleet churn experiments live with their subsystem; importing the
+# module registers them alongside the paper grids above.
+from repro.fleet import experiment as _fleet_experiment  # noqa: E402,F401

@@ -66,6 +66,7 @@ class _Timeline:
     processes: dict[str, _ManagedProcess] = field(default_factory=dict)
     balloon_frames: list[int] = field(default_factory=list)
     pressure_frames: list[int] = field(default_factory=list)
+    fleet: object = None             # FleetManager once a fleet action ran
     oom: bool = False
 
 
@@ -159,6 +160,21 @@ def _run_epochs(tl: _Timeline, count: int) -> None:
         tl.oom = True
 
 
+def _apply_fleet(tl: _Timeline, spec) -> None:
+    """First fleet action attaches the manager; later ones re-rate it."""
+    if tl.fleet is None:
+        from repro.fleet import FleetManager, FleetSpec
+
+        tl.fleet = FleetManager(
+            tl.kernel,
+            FleetSpec(rate_per_s=spec.rate_per_s, seed=spec.seed,
+                      max_tenants=spec.max_tenants),
+            scale_factor=tl.scale.factor,
+        )
+    else:
+        tl.fleet.set_rate(spec.rate_per_s)
+
+
 def _gb_to_pages(tl: _Timeline, gb: float) -> int:
     from repro.units import BASE_PAGE_SIZE
 
@@ -191,6 +207,8 @@ def _apply_phase(tl: _Timeline, phase) -> None:
         tl.kernel.fragmenter.fragment(
             keep_fraction=phase.fragment.keep_fraction,
             target_fmfi=phase.fragment.target_fmfi)
+    if phase.fleet is not None:
+        _apply_fleet(tl, phase.fleet)
     if phase.run_s and not tl.oom:
         _run_epochs(tl, phase.run_s)
 
@@ -358,6 +376,9 @@ def run_scenario_case(scenario: Scenario, case: str, policy: str,
     }
     if fault_p99 is not None:
         result["fault_p99_us"] = round(fault_p99, 3)
+    if tl.fleet is not None:
+        # conditional key: fleetless scenario results stay byte-identical.
+        result["fleet"] = tl.fleet.snapshot()
     return result
 
 

@@ -43,7 +43,7 @@ _MEMPOLICIES = ("local", "interleave", "preferred", "bind")
 
 #: every key a phase mapping may carry, in the order actions apply.
 PHASE_ACTION_ORDER = ("kill", "restart", "spawn", "hog", "balloon",
-                      "node_pressure", "fragment")
+                      "node_pressure", "fragment", "fleet")
 _PHASE_KEYS = ("name",) + PHASE_ACTION_ORDER + ("run_s",)
 
 
@@ -130,6 +130,21 @@ class FragmentSpec:
 
 
 @dataclass(frozen=True)
+class FleetPhaseSpec:
+    """One ``fleet`` action: start (or re-rate) multi-tenant churn.
+
+    The first fleet action in a timeline attaches a
+    :class:`~repro.fleet.manager.FleetManager` with this arrival rate;
+    later ones just change the rate, so a scenario can ramp churn phase
+    by phase.
+    """
+
+    rate_per_s: float
+    seed: int = 0
+    max_tenants: int = 0
+
+
+@dataclass(frozen=True)
 class PhaseSpec:
     """One timeline phase: actions applied in a fixed order, then
     ``run_s`` epochs of the kernel loop."""
@@ -142,6 +157,7 @@ class PhaseSpec:
     balloon: BalloonSpec | None = None
     node_pressure: tuple[NodePressureSpec, ...] = ()
     fragment: FragmentSpec | None = None
+    fleet: FleetPhaseSpec | None = None
     run_s: int = 0
 
 
@@ -378,6 +394,20 @@ def _validate_node_pressure(value, path: str, nodes: int) -> NodePressureSpec:
     )
 
 
+def _validate_fleet(value, path: str) -> FleetPhaseSpec:
+    raw = _expect_mapping(value, path, ("rate_per_s", "seed", "max_tenants"),
+                          required=("rate_per_s",))
+    return FleetPhaseSpec(
+        rate_per_s=_expect_number(raw["rate_per_s"], f"{path}.rate_per_s",
+                                  minimum=1e-6),
+        seed=(_expect_int(raw["seed"], f"{path}.seed", minimum=0)
+              if "seed" in raw else 0),
+        max_tenants=(_expect_int(raw["max_tenants"], f"{path}.max_tenants",
+                                 minimum=0)
+                     if "max_tenants" in raw else 0),
+    )
+
+
 def _validate_fragment(value, path: str) -> FragmentSpec:
     raw = _expect_mapping(value, path, ("keep_fraction", "target_fmfi"))
     target = (_expect_number(raw["target_fmfi"], f"{path}.target_fmfi",
@@ -452,6 +482,8 @@ def _validate_phase(value, path: str, index: int, nodes: int,
         node_pressure=pressure,
         fragment=(_validate_fragment(raw["fragment"], f"{path}.fragment")
                   if "fragment" in raw else None),
+        fleet=(_validate_fleet(raw["fleet"], f"{path}.fleet")
+               if "fleet" in raw else None),
         run_s=(_expect_int(raw["run_s"], f"{path}.run_s", minimum=0)
                if "run_s" in raw else 0),
     )

@@ -58,3 +58,119 @@ def test_hawkeye_fault_path_respects_limit():
 def test_unlimited_by_default():
     kernel = Kernel(small_config(64), lambda k: HawkEyePolicy(k, variant="g"))
     assert kernel.policy.limits is None
+
+
+# --------------------------------------------------------------------- #
+# group caps (cgroup-style, summed across live members)                  #
+# --------------------------------------------------------------------- #
+
+
+def _named_proc(kernel, name, nbytes=8 * MB):
+    from repro.tlb.perf import PMUCounters
+
+    proc = Process(name)
+    kernel.processes.append(proc)
+    kernel.pmu[proc.pid] = PMUCounters()
+    vma = kernel.mmap(proc, nbytes, "heap")
+    return proc, vma
+
+
+def test_group_cap_sums_across_members():
+    limits = HugePageLimits(group_limits={"svc-*": 2})
+    a, b = Process("svc-a"), Process("svc-b")
+    assert limits.may_promote(a)
+    a.page_table.map_huge(1, 512)
+    assert limits.may_promote(b)
+    b.page_table.map_huge(40, 1024)
+    # the group now holds 2 huge pages in total: both members blocked.
+    assert not limits.may_promote(a)
+    assert not limits.may_promote(b)
+    assert limits.refusals == 2
+    assert limits.group_refusals == 2
+    assert limits.group_stats() == {"svc-": (2, 2)}
+
+
+def test_group_cap_exact_name_spelling_equivalent():
+    with_star = HugePageLimits(group_limits={"svc-*": 1})
+    without = HugePageLimits(group_limits={"svc-": 1})
+    assert with_star.group_stats() == without.group_stats()
+
+
+def test_group_cap_restart_churn_does_not_leak():
+    """Satellite: a killed-and-restarted tenant must not pin its old
+    holdings against the group cap."""
+    kernel = Kernel(
+        small_config(64),
+        lambda k: HawkEyePolicy(k, variant="g",
+                                huge_page_group_limits={"svc-*": 1}),
+    )
+    limits = kernel.policy.limits
+    proc, vma = _named_proc(kernel, "svc-a")
+    kernel.fault(proc, vma.start)
+    assert proc.stats.huge_faults == 1
+    assert limits.group_held("svc-") == 1
+    # cap reached: a sibling is refused.
+    sibling, svma = _named_proc(kernel, "svc-b")
+    kernel.fault(sibling, svma.start)
+    assert sibling.stats.huge_faults == 0
+    assert limits.group_refusals >= 1
+
+    # kill-and-restart churn: teardown must free the group budget...
+    kernel.exit_process(proc)
+    assert limits.group_held("svc-") == 0
+    # ...so the restarted incarnation gets the huge page again.
+    fresh, fvma = _named_proc(kernel, "svc-a")
+    kernel.fault(fresh, fvma.start)
+    assert fresh.stats.huge_faults == 1
+    assert limits.group_held("svc-") == 1
+
+
+def test_group_cap_restart_churn_unbound_registry():
+    """Same property without a kernel: exited members are pruned."""
+    limits = HugePageLimits(group_limits={"svc-*": 1})
+    old = Process("svc-a")
+    assert limits.may_promote(old)
+    old.page_table.map_huge(1, 512)
+    assert not limits.may_promote(old)
+    old.finished = True  # torn down: page table cleared, run finished
+    old.page_table.clear()
+    fresh = Process("svc-a")
+    assert limits.may_promote(fresh)
+    assert limits.group_held("svc-") == 0
+
+
+def test_limits_telemetry_family():
+    """Satellite: refusals and group held/cap surface as limits.* metrics."""
+    from repro.metrics import telemetry as tmod
+
+    kernel = Kernel(
+        small_config(64),
+        lambda k: HawkEyePolicy(k, variant="g",
+                                huge_page_limits={"t": 0},
+                                huge_page_group_limits={"svc-*": 3}),
+    )
+    sampler = tmod.attach(kernel)
+    proc, vma = make_proc(kernel, nbytes=8 * MB)
+    kernel.fault(proc, vma.start)  # cap 0: refused, falls back to base
+    assert proc.stats.huge_faults == 0
+    kernel.run_epochs(2)
+    art = sampler.telemetry()
+    tmod.detach(kernel)
+    counters = art.scrapes[-1]["counters"]["limit_refusals_total"]
+    assert counters["kind=total"] >= 1
+    gauges = art.scrapes[-1]["gauges"]
+    assert gauges["limit_group_cap"]["group=svc-"] == 3
+    assert gauges["limit_group_held"]["group=svc-"] == 0
+
+
+def test_no_limits_no_telemetry_family():
+    """Zero-cost contract: limitless kernels scrape no limits.* family."""
+    from repro.metrics import telemetry as tmod
+
+    kernel = Kernel(small_config(64), lambda k: HawkEyePolicy(k, variant="g"))
+    sampler = tmod.attach(kernel)
+    kernel.run_epochs(2)
+    art = sampler.telemetry()
+    tmod.detach(kernel)
+    assert "limit_refusals_total" not in art.scrapes[-1]["counters"]
+    assert "limit_group_held" not in art.scrapes[-1]["gauges"]

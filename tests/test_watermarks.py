@@ -1,6 +1,8 @@
 """Unit tests for the bloat-recovery watermarks (§3.2 hysteresis)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.mem.watermarks import Watermarks
@@ -73,3 +75,70 @@ class TestDynamicWatermarks:
             wm.update(1.0 if i % 2 else 0.0)  # pathological volatility
         assert wm.high >= wm._base_low + 0.02
         assert wm.low >= 0.01
+
+
+class TestDynamicWatermarkProperties:
+    """Hypothesis properties: no single-sample flap under any burst
+    pattern, and exact convergence to the static 85/70 thresholds once
+    volatility dies out."""
+
+    def make(self):
+        from repro.mem.watermarks import DynamicWatermarks
+
+        return DynamicWatermarks(high=0.85, low=0.70)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), max_size=120))
+    def test_thresholds_stay_ordered_and_bounded(self, samples):
+        wm = self.make()
+        for sample in samples:
+            wm.update(sample)
+            assert 0.0 < wm.low < wm.high <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), max_size=120))
+    def test_never_flaps_within_one_sample(self, samples):
+        """One sample changes the active state at most once, and only by
+        crossing the threshold that was in force for it: activation
+        requires sample >= high, deactivation requires sample < low.  A
+        sample inside the hysteresis band can never change the state."""
+        wm = self.make()
+        was_active = wm.active
+        for sample in samples:
+            now_active = wm.update(sample)
+            if now_active and not was_active:
+                assert sample >= wm.high
+            elif was_active and not now_active:
+                assert sample < wm.low
+            else:
+                # unchanged state: the sample sat on the sticky side of
+                # the band (no flap without a genuine crossing).
+                if wm.low <= sample < wm.high:
+                    assert now_active == was_active
+            was_active = now_active
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), max_size=60),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_converges_to_static_thresholds_when_volatility_dies(
+            self, burst, steady):
+        """Any burst prefix, then a full window of one constant value:
+        zero volatility must restore exactly the static 85/70 pair."""
+        from repro.mem.watermarks import DynamicWatermarks
+
+        wm = self.make()
+        for sample in burst:
+            wm.update(sample)
+        for _ in range(DynamicWatermarks.WINDOW):
+            wm.update(steady)
+        assert wm.high == 0.85
+        assert wm.low == 0.70
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.integers(min_value=4, max_value=100))
+    def test_constant_series_never_moves_thresholds(self, value, n):
+        wm = self.make()
+        for _ in range(n):
+            wm.update(value)
+        assert wm.high == 0.85
+        assert wm.low == 0.70
